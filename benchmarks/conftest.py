@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each module regenerates one table or figure from the paper's evaluation
+(see DESIGN.md's per-experiment index).  Benches print the same rows or
+series the paper reports and assert only the *shape* — who wins, by
+roughly what factor, where crossovers fall — since the substrate is a
+simulator, not the authors' testbed.
+
+Batch sizes are scaled down from the paper's (e.g. 30 random credentials
+per length instead of 300) to keep a full harness run in minutes; every
+module takes a ``--thorough``-style scale-up via the REPRO_BENCH_SCALE
+environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.android.apps import CHASE
+from repro.android.os_config import default_config
+
+#: Multiplier on batch sizes (REPRO_BENCH_SCALE=10 approximates the paper).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(n: int) -> int:
+    return max(2, int(n * SCALE))
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def chase():
+    return CHASE
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,105 @@
+"""Ablation: the online engine's components (DESIGN.md design choices).
+
+The published Algorithm 1 handles duplication (Δt1 backtrace), split
+(pairwise recombination) and noise (classifier rejection).  On top of it
+this implementation adds collision recovery (duplication halving,
+dismiss/field composite subtraction, ambient deflation) and field-length
+correction tracking.  This bench quantifies each layer's contribution.
+"""
+
+import numpy as np
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import run_credential_batch
+from repro.workloads.credentials import credential_batch
+
+
+def test_ablation_collision_recovery(benchmark, config, chase):
+    texts = credential_batch(np.random.default_rng(77), scaled(20))
+
+    def run():
+        full = run_credential_batch(config, chase, seed=7700, texts=texts)
+        plain = run_credential_batch(
+            config, chase, seed=7700, texts=texts, recover_collisions=False
+        )
+        return full, plain
+
+    full, plain = run_once(benchmark, run)
+    print(
+        f"\nengine ablation — collision recovery:\n"
+        f"  Algorithm 1 (paper):     text={plain.text_accuracy:.3f} key={plain.key_accuracy:.3f}\n"
+        f"  + collision recovery:    text={full.text_accuracy:.3f} key={full.key_accuracy:.3f}"
+    )
+    assert full.key_accuracy >= plain.key_accuracy, (
+        "collision recovery must never hurt per-key accuracy"
+    )
+    assert full.text_accuracy >= plain.text_accuracy - 0.05
+
+
+def test_ablation_correction_tracking(benchmark, config, chase):
+    """Without Section 5.3 tracking, deleted characters stay in the
+    inferred credential."""
+    from repro.analysis.metrics import edit_distance
+    from repro.android.device import VictimDevice
+    from repro.analysis.experiments import single_model_attack
+    from repro.workloads.behavior import typing_with_corrections
+    from repro.workloads.typing_model import TypingModel
+
+    def run():
+        tracked = single_model_attack(config, chase)
+        untracked = single_model_attack(config, chase, track_corrections=False)
+        errors_tracked = errors_untracked = 0
+        for seed in range(scaled(8)):
+            rng = np.random.default_rng(7800 + seed)
+            events, final = typing_with_corrections(
+                "correctme1", TypingModel(rng), rng, typo_prob=0.6
+            )
+            device = VictimDevice(config, chase, rng=rng)
+            end = max(e.t for e in events) + 2.5
+            trace = device.compile(events, end_time_s=end)
+            a = tracked.run_on_trace(trace, seed=7900 + seed)
+            b = untracked.run_on_trace(trace, seed=7900 + seed)
+            errors_tracked += edit_distance(a.text, final)
+            errors_untracked += edit_distance(b.text, final)
+        return errors_tracked, errors_untracked
+
+    errors_tracked, errors_untracked = run_once(benchmark, run)
+    print(
+        f"\nengine ablation — correction tracking: "
+        f"errors with={errors_tracked}, without={errors_untracked}"
+    )
+    assert errors_tracked < errors_untracked, (
+        "Section 5.3 tracking must remove deleted characters"
+    )
+
+
+def test_ablation_switch_detection(benchmark, config, chase):
+    """Without Section 5.2 detection, other-app activity pollutes the
+    inference with suppressed-context events."""
+    from repro.android.device import VictimDevice
+    from repro.android.events import AppSwitchAway, AppSwitchBack, KeyPress
+    from repro.analysis.experiments import single_model_attack
+    from repro.analysis.metrics import edit_distance
+
+    def run():
+        with_det = single_model_attack(config, chase)
+        without = single_model_attack(config, chase, detect_switches=False)
+        text = "abcdef"
+        events = [KeyPress(t=0.6 + 0.4 * i, char=c) for i, c in enumerate(text)]
+        events += [AppSwitchAway(t=3.4), AppSwitchBack(t=12.0)]
+        errors_with = errors_without = 0
+        for seed in range(scaled(6)):
+            device = VictimDevice(config, chase, rng=np.random.default_rng(7950 + seed))
+            trace = device.compile(events, end_time_s=13.5)
+            a = with_det.run_on_trace(trace, seed=7980 + seed)
+            b = without.run_on_trace(trace, seed=7980 + seed)
+            errors_with += edit_distance(a.text, text)
+            errors_without += edit_distance(b.text, text)
+        return errors_with, errors_without
+
+    errors_with, errors_without = run_once(benchmark, run)
+    print(
+        f"\nengine ablation — app-switch detection: "
+        f"errors with={errors_with}, without={errors_without}"
+    )
+    assert errors_with <= errors_without

@@ -1,0 +1,75 @@
+"""Fig 6: PC value changes of different key popups in (LRZ, RAS) space.
+
+The paper scatters one LRZ PC against one RAS PC and shows every key in
+its own tight cluster, with visually-similar glyphs (',' '.') closest
+together.  We regenerate the scatter from the offline-trained model's
+key centroids.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.experiments import cached_model
+from repro.core import features
+from repro.gpu import counters as pc
+
+
+def test_fig06_per_key_clusters(benchmark, config, chase):
+    model = run_once(benchmark, lambda: cached_model(config, chase))
+
+    x_dim = features.counter_index(pc.LRZ_FULL_8X8_TILES)
+    y_dim = features.counter_index(pc.RAS_SUPERTILE_ACTIVE_CYCLES)
+
+    print("\nFig 6 — key press signatures (LRZ_FULL_8X8_TILES, RAS_SUPERTILE_ACTIVE_CYCLES):")
+    points = {}
+    for label in model.key_labels:
+        char = label[len("key:"):]
+        centroid = model.centroid(label)
+        points[char] = (centroid[x_dim], centroid[y_dim])
+    for char in "abcdefghij,.":
+        x, y = points[char]
+        print(f"  {char!r}: LRZ={x:8.0f}  RAS={y:9.0f}")
+
+    # every key occupies a distinct point in the full feature space
+    seen = set()
+    for label in model.key_labels:
+        key = tuple(np.round(model.centroid(label), 0))
+        assert key not in seen
+        seen.add(key)
+
+    # ',' and '.' sit closer to each other than typical letter pairs,
+    # mirroring the figure's bottom-left cluster of faint glyphs
+    def dist(a, b):
+        return features.normalized_distance(
+            model.centroid(f"key:{a}"), model.centroid(f"key:{b}"), model.scale
+        )
+
+    punct = dist(",", ".")
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    letter_dists = [
+        dist(a, b) for i, a in enumerate(letters) for b in letters[i + 1:]
+    ]
+    assert punct < np.median(letter_dists), (
+        "',' vs '.' must be among the hardest pairs (minimum overdraw)"
+    )
+    print(f"  d(',', '.') = {punct:.3f} vs median letter-pair distance {np.median(letter_dists):.3f}")
+
+
+def test_fig06_keys_separable_above_jitter(benchmark, config, chase):
+    """Inter-key distances dwarf intra-key spread for letters — the basis
+    of 'repetitive presses always result in the same change'."""
+    model = run_once(benchmark, lambda: cached_model(config, chase))
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    dists = []
+    for i, a in enumerate(letters):
+        for b in letters[i + 1:]:
+            dists.append(
+                features.normalized_distance(
+                    model.centroid(f"key:{a}"), model.centroid(f"key:{b}"), model.scale
+                )
+            )
+    # cth absorbs the observed intra-class spread; letter pairs must be
+    # separated by more than cth on the whole
+    frac_above = np.mean([d > model.cth for d in dists])
+    print(f"\nletter pairs separated beyond cth: {frac_above * 100:.1f}%")
+    assert frac_above > 0.95

@@ -1,0 +1,56 @@
+"""Fig 16: durations and intervals of key presses from 5 volunteers.
+
+Regenerates the Fig 16 scatter's marginals: durations clustered around
+60-120 ms, intervals spread from ~0.1 s to ~1 s, with per-volunteer
+heterogeneity; and Section 7.2's three equal-ish speed tiers.
+"""
+
+import numpy as np
+
+from conftest import run_once, scaled
+from repro.workloads.typing_model import (
+    FAST_MAX_INTERVAL_S,
+    MEDIUM_MAX_INTERVAL_S,
+    collect_volunteer_samples,
+    split_by_speed,
+)
+
+
+def test_fig16_volunteer_distributions(benchmark):
+    rng = np.random.default_rng(16)
+    data = run_once(
+        benchmark, lambda: collect_volunteer_samples(rng, presses_per_volunteer=scaled(600))
+    )
+    print("\nFig 16 — per-volunteer typing statistics:")
+    medians = {}
+    for name, stats in data.items():
+        duration_med = float(np.median(stats["durations"]))
+        interval_med = float(np.median(stats["intervals"]))
+        medians[name] = interval_med
+        print(
+            f"  {name}: duration median={duration_med * 1000:5.1f} ms, "
+            f"interval median={interval_med:0.3f} s"
+        )
+        assert 0.05 < duration_med < 0.15
+        assert 0.1 < interval_med < 0.6
+
+    # the volunteers are visibly heterogeneous, as in the figure
+    assert max(medians.values()) / min(medians.values()) > 1.5
+
+
+def test_fig16_speed_tiers_all_populated(benchmark):
+    rng = np.random.default_rng(17)
+    data = run_once(
+        benchmark, lambda: collect_volunteer_samples(rng, presses_per_volunteer=scaled(600))
+    )
+    pooled = np.concatenate([stats["intervals"] for stats in data.values()])
+    tiers = split_by_speed(pooled)
+    shares = {name: len(vals) / len(pooled) for name, vals in tiers.items()}
+    print(
+        f"\nSection 7.2 speed tiers (boundaries {FAST_MAX_INTERVAL_S}s/{MEDIUM_MAX_INTERVAL_S}s): "
+        + ", ".join(f"{k}={v * 100:.0f}%" for k, v in shares.items())
+    )
+    # the paper splits into three same-size parts; our pooled distribution
+    # must make each tier substantial
+    for name, share in shares.items():
+        assert share > 0.15, name

@@ -1,0 +1,71 @@
+"""Fig 17: accuracy of inferring user text inputs (the headline result).
+
+(a) text-input accuracy per credential length 8-16 — paper: always >75 %,
+    average 81.3 %;
+(b) incorrectly inferred key presses per input — paper: mostly 1 error,
+    per-key accuracy 98.3 %;
+(c) accuracy per character group — paper: symbols worst (minimum
+    overdraw), letters/digits near-perfect.
+"""
+
+import numpy as np
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import run_credential_batch
+
+
+def _sweep(config, chase, n_per_length):
+    results = {}
+    for length in range(8, 17):
+        results[length] = run_credential_batch(
+            config, chase, n_texts=n_per_length, length=length, seed=1700 + length
+        )
+    return results
+
+
+def test_fig17_accuracy_by_length(benchmark, config, chase):
+    n = scaled(20)
+    results = run_once(benchmark, lambda: _sweep(config, chase, n))
+
+    print("\nFig 17(a/b) — accuracy vs credential length (paper avg: 81.3% / 98.3%):")
+    print(f"{'len':>4s} {'text acc':>9s} {'key acc':>9s} {'errors/input':>13s}")
+    text_accs, key_accs, all_errors = [], [], []
+    for length, batch in results.items():
+        report = batch.report
+        text_accs.append(report.text_accuracy)
+        key_accs.append(report.key_accuracy)
+        all_errors.extend(report.errors_per_trace)
+        print(
+            f"{length:4d} {report.text_accuracy:9.3f} {report.key_accuracy:9.3f} "
+            f"{report.mean_errors_per_trace:13.2f}"
+        )
+    avg_text = float(np.mean(text_accs))
+    avg_key = float(np.mean(key_accs))
+    print(f" avg {avg_text:9.3f} {avg_key:9.3f}")
+
+    # paper shape: text accuracy stays high across all lengths, including 16
+    assert avg_text > 0.65, "average text accuracy must stay in the paper's band"
+    assert min(text_accs) > 0.5, "no length may collapse"
+    assert avg_key > 0.95, "per-key accuracy must be near the paper's 98.3%"
+
+    # Fig 17(b): errors concentrate at 0-1 per input
+    errors = np.array(all_errors)
+    assert np.mean(errors <= 1) > 0.8, "most inputs have at most one wrong key press"
+    assert np.mean(errors) < 1.0
+
+
+def test_fig17_group_accuracy(benchmark, config, chase):
+    batch = run_once(
+        benchmark,
+        lambda: run_credential_batch(config, chase, n_texts=scaled(60), seed=1790),
+    )
+    groups = batch.report.group_accuracy()
+    print("\nFig 17(c) — accuracy per character group:")
+    for group in ("lower", "upper", "number", "symbol"):
+        print(f"  {group:8s} {groups.get(group, 0.0):.3f}")
+    # paper: every group >= ~0.95, symbols the weakest
+    for group, acc in groups.items():
+        assert acc > 0.88, group
+    assert groups["symbol"] <= min(groups["lower"], groups["number"]) + 0.02, (
+        "symbols (minimum overdraw) must be the weakest group"
+    )

@@ -1,0 +1,49 @@
+"""Fig 19: inference accuracy over different target applications.
+
+Six native apps (banking / investment / credit) and three login webpages
+in Chrome; the paper reports >80 % text accuracy on all of them.
+"""
+
+import zlib
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import format_accuracy_table, run_credential_batch
+from repro.android.apps import TARGET_APPS
+
+
+APPS = [
+    "chase",
+    "amex",
+    "fidelity",
+    "schwab",
+    "myfico",
+    "experian",
+    "chase.com",
+    "schwab.com",
+    "experian.com",
+]
+
+
+def test_fig19_accuracy_across_apps(benchmark, config):
+    n = scaled(12)
+
+    def sweep():
+        rows = {}
+        for name in APPS:
+            batch = run_credential_batch(
+                config, TARGET_APPS[name], n_texts=n, seed=1900 + zlib.crc32(str(name).encode()) % 97
+            )
+            rows[name] = (batch.text_accuracy, batch.key_accuracy)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_accuracy_table(rows, "Fig 19 — accuracy per target app (paper: >0.8 text)"))
+
+    for name, (text_acc, key_acc) in rows.items():
+        assert text_acc > 0.55, f"{name} text accuracy out of band"
+        assert key_acc > 0.94, f"{name} key accuracy out of band"
+
+    # native and web targets are all attackable; no category collapses
+    native = [rows[n][0] for n in APPS[:6]]
+    web = [rows[n][0] for n in APPS[6:]]
+    assert min(native) > 0.55 and min(web) > 0.55

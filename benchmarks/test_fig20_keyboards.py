@@ -1,0 +1,42 @@
+"""Fig 20: inference accuracy on six popular on-screen keyboards.
+
+Different keyboard UIs (key geometry, popup styling, animation behaviour)
+retain high accuracy with <5 % variation in the paper.
+"""
+
+import numpy as np
+
+import zlib
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import format_accuracy_table, run_credential_batch
+from repro.android.keyboard import KEYBOARDS
+from repro.android.os_config import default_config
+
+ORDER = ["swift", "gboard", "sogou", "pinyin", "go", "grammarly"]
+
+
+def test_fig20_accuracy_across_keyboards(benchmark, chase):
+    n = scaled(12)
+
+    def sweep():
+        rows = {}
+        for name in ORDER:
+            config = default_config(keyboard=KEYBOARDS[name])
+            batch = run_credential_batch(config, chase, n_texts=n, seed=2000 + zlib.crc32(str(name).encode()) % 89)
+            rows[name] = (batch.text_accuracy, batch.key_accuracy)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_accuracy_table(rows, "Fig 20 — accuracy per keyboard (paper: <5% spread)"))
+
+    text_accs = [text for text, _ in rows.values()]
+    key_accs = [key for _, key in rows.values()]
+    for name, (text_acc, key_acc) in rows.items():
+        assert text_acc > 0.55, name
+        assert key_acc > 0.94, name
+
+    # the attack adapts to every keyboard: bounded spread across UIs
+    assert max(text_accs) - min(text_accs) < 0.35
+    assert max(key_accs) - min(key_accs) < 0.05
+    print(f"  spread: text={max(text_accs) - min(text_accs):.3f}, key={max(key_accs) - min(key_accs):.3f}")

@@ -1,0 +1,63 @@
+"""Fig 21: the impact of user input speed.
+
+Section 7.2 splits collected intervals into fast (<0.24 s), medium
+(0.24-0.4 s) and slow (>0.4 s) tiers.  The paper finds per-key accuracy
+roughly constant while *text* accuracy drops toward ~60 % for slow typing
+(more idle time per key press means more chances for ambient changes to
+corrupt a read), with mean errors still <1.3 per input.
+"""
+
+import numpy as np
+
+import zlib
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import run_credential_batch
+
+TIERS = ("fast", "medium", "slow")
+
+
+def _sweep(config, chase, n):
+    rows = {}
+    for tier in TIERS:
+        rows[tier] = run_credential_batch(
+            config, chase, n_texts=n, speed_tier=tier, seed=2100 + zlib.crc32(str(tier).encode()) % 83
+        )
+    rows["overall"] = run_credential_batch(config, chase, n_texts=n, seed=2150)
+    return rows
+
+
+def test_fig21_speed_impact(benchmark, config, chase):
+    rows = run_once(benchmark, lambda: _sweep(config, chase, scaled(20)))
+
+    print("\nFig 21 — impact of input speed (paper: slow drops to ~60% text):")
+    print(f"{'tier':>8s} {'text acc':>9s} {'key acc':>9s} {'errors':>7s}")
+    for tier, batch in rows.items():
+        print(
+            f"{tier:>8s} {batch.text_accuracy:9.3f} {batch.key_accuracy:9.3f} "
+            f"{batch.report.mean_errors_per_trace:7.2f}"
+        )
+
+    # per-key accuracy stays roughly constant across speeds (Fig 21a)
+    key_accs = [rows[t].key_accuracy for t in TIERS]
+    assert max(key_accs) - min(key_accs) < 0.05
+    assert min(key_accs) > 0.93
+
+    # text accuracy decreases as typing slows (Fig 21a)
+    assert rows["slow"].text_accuracy <= rows["fast"].text_accuracy
+    assert rows["slow"].text_accuracy > 0.35, "slow typing must not collapse"
+
+    # errors remain correctable with a few guesses (Fig 21b: <1.3)
+    for tier in TIERS:
+        assert rows[tier].report.mean_errors_per_trace < 1.5, tier
+
+
+def test_fig21_group_accuracy_by_speed(benchmark, config, chase):
+    rows = run_once(benchmark, lambda: _sweep(config, chase, scaled(15)))
+    print("\nFig 21(c) — group accuracy per speed tier:")
+    for tier in TIERS:
+        groups = rows[tier].report.group_accuracy()
+        line = " ".join(f"{g}={groups.get(g, 0):.3f}" for g in ("lower", "upper", "number", "symbol"))
+        print(f"  {tier:>7s}: {line}")
+        for acc in groups.values():
+            assert acc > 0.85

@@ -1,0 +1,82 @@
+"""Fig 22: impact of concurrent CPU and GPU workloads.
+
+The paper finds negligible accuracy reduction below ~50 % CPU / ~25 % GPU
+utilization, degrading toward ~60 % when loads reach 75 %+, because the
+monitoring service loses timely counter reads (CPU) or the victim frames
+stretch behind the background renderer (GPU).
+
+The same credential set is replayed at every load level so the curves
+isolate the load effect.  See EXPERIMENTS.md for where our GPU-load curve
+diverges from the paper's (our background contaminates every read window,
+which the engine's ambient-deflation extension only partly removes).
+"""
+
+import numpy as np
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import run_credential_batch
+from repro.kgsl.sampler import SystemLoad
+from repro.workloads.credentials import credential_batch
+
+
+def _texts(n):
+    return credential_batch(np.random.default_rng(22), n)
+
+
+def test_fig22a_cpu_load(benchmark, config, chase):
+    texts = _texts(scaled(18))
+
+    def sweep():
+        rows = {}
+        for cpu in (0.0, 0.25, 0.5, 0.75, 1.0):
+            rows[cpu] = run_credential_batch(
+                config,
+                chase,
+                load=SystemLoad(cpu_utilization=cpu),
+                seed=2200,
+                texts=texts,
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nFig 22(a) — accuracy under CPU load (paper: mild <50%, ~60% at 75%+):")
+    for cpu, batch in rows.items():
+        print(f"  cpu={cpu:4.0%}: text={batch.text_accuracy:.3f} key={batch.key_accuracy:.3f}")
+
+    assert rows[0.25].text_accuracy >= rows[0.0].text_accuracy - 0.15, (
+        "light CPU load must cost little"
+    )
+    assert rows[1.0].key_accuracy < rows[0.0].key_accuracy
+    assert rows[1.0].text_accuracy <= rows[0.25].text_accuracy
+    assert rows[1.0].key_accuracy >= 0.85, "the attack degrades, not collapses"
+
+
+def test_fig22b_gpu_load(benchmark, config, chase):
+    texts = _texts(scaled(14))
+
+    def sweep():
+        rows = {}
+        for gpu in (0.0, 0.25, 0.5, 0.75):
+            rows[gpu] = run_credential_batch(
+                config,
+                chase,
+                gpu_utilization=gpu,
+                seed=2250,
+                texts=texts,
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nFig 22(b) — accuracy under GPU load (paper: mild <25%, ~60% at 75%):")
+    for gpu, batch in rows.items():
+        print(f"  gpu={gpu:4.0%}: text={batch.text_accuracy:.3f} key={batch.key_accuracy:.3f}")
+
+    # any background GPU rendering hurts; the engine's ambient-deflation
+    # keeps per-key accuracy high but whole-credential accuracy drops
+    # harder than in the paper (see EXPERIMENTS.md)
+    assert rows[0.25].text_accuracy < rows[0.0].text_accuracy
+    for gpu in (0.25, 0.5, 0.75):
+        assert rows[gpu].key_accuracy >= 0.7, (
+            f"per-key accuracy must survive gpu={gpu} via ambient deflation"
+        )
+    assert rows[0.0].key_accuracy > 0.95

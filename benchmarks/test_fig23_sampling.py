@@ -1,0 +1,66 @@
+"""Fig 23: impact of the GPU PC reading interval.
+
+The paper recommends reading at most every 8 ms at 60 Hz and at most every
+4 ms at 120 Hz: at 120 Hz consecutive frames are only 8.3 ms apart and
+merge into a single read at slower sampling, costing ~20 % of text
+accuracy at 12 ms while per-key accuracy stays >95 %.
+
+These runs use the published Algorithm 1 (``recover_collisions=False``):
+our collision-recovery extensions largely remove the interval sensitivity
+the paper measures (see the engine-ablation bench and EXPERIMENTS.md).
+The offline model is retrained at each interval, as the real attack's
+would be.
+"""
+
+import numpy as np
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import run_credential_batch
+from repro.android.os_config import default_config
+from repro.workloads.credentials import credential_batch
+
+
+def _sweep(chase, refresh_hz, intervals, n):
+    config = default_config(refresh_rate_hz=refresh_hz)
+    texts = credential_batch(np.random.default_rng(23), n)
+    rows = {}
+    for interval_ms in intervals:
+        rows[interval_ms] = run_credential_batch(
+            config,
+            chase,
+            interval_s=interval_ms / 1000.0,
+            seed=2300,
+            texts=texts,
+            recover_collisions=False,
+        )
+    return rows
+
+
+def test_fig23_sampling_interval_120hz(benchmark, chase):
+    rows = run_once(benchmark, lambda: _sweep(chase, 120, (4, 8, 12), scaled(16)))
+    print("\nFig 23 @120Hz — accuracy vs sampling interval (Algorithm 1):")
+    for ms, batch in rows.items():
+        print(f"  {ms:2d} ms: text={batch.text_accuracy:.3f} key={batch.key_accuracy:.3f}")
+
+    # the paper's recommendation: at 120 Hz the interval must be ~4 ms
+    assert rows[4].text_accuracy > rows[8].text_accuracy > rows[12].text_accuracy
+    assert rows[4].text_accuracy - rows[12].text_accuracy > 0.15, (
+        "12 ms at 120 Hz must cost a large share of text accuracy"
+    )
+    # per-key accuracy degrades far more slowly (paper: retained >95%)
+    assert rows[12].key_accuracy > 0.8
+
+
+def test_fig23_sampling_interval_60hz(benchmark, chase):
+    rows = run_once(benchmark, lambda: _sweep(chase, 60, (4, 8, 12), scaled(16)))
+    print("\nFig 23 @60Hz — accuracy vs sampling interval (Algorithm 1):")
+    for ms, batch in rows.items():
+        print(f"  {ms:2d} ms: text={batch.text_accuracy:.3f} key={batch.key_accuracy:.3f}")
+
+    # at 60 Hz the recommended 8 ms works well; our split-read model makes
+    # 12 ms *no worse* at this refresh rate (frames are 16.7 ms apart), a
+    # divergence from the paper's 60 Hz curve recorded in EXPERIMENTS.md
+    assert rows[8].text_accuracy > 0.4
+    assert rows[8].key_accuracy > 0.92
+    for ms, batch in rows.items():
+        assert batch.key_accuracy > 0.9, ms

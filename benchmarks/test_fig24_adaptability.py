@@ -1,0 +1,104 @@
+"""Fig 24: adaptability across GPUs, resolutions, phones and OS versions.
+
+Because a classification model is preloaded per (device model,
+configuration), the attack retains its accuracy across (a) Adreno
+540/640/650/660, (b) FHD+/QHD+ panels, (c) different phones sharing a
+GPU, and (d) Android versions 8.1-11.
+"""
+
+import zlib
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import format_accuracy_table, run_credential_batch
+from repro.android.display import Resolution
+from repro.android.os_config import DeviceConfig, default_config, phone
+
+
+def _batch(config, chase, n, seed):
+    return run_credential_batch(config, chase, n_texts=n, seed=seed)
+
+
+def _assert_band(rows):
+    for label, (text_acc, key_acc) in rows.items():
+        assert text_acc >= 0.45, f"{label}: text accuracy out of band"
+        assert key_acc > 0.94, f"{label}: key accuracy out of band"
+
+
+def test_fig24a_gpu_models(benchmark, chase):
+    phones = {
+        "Adreno 540": "lg_v30",
+        "Adreno 640": "oneplus7pro",
+        "Adreno 650": "oneplus8pro",
+        "Adreno 660": "oneplus9",
+    }
+    n = scaled(12)
+
+    def sweep():
+        rows = {}
+        for label, name in phones.items():
+            config = DeviceConfig(phone=phone(name))
+            batch = _batch(config, chase, n, 2400 + zlib.crc32(str(label).encode()) % 71)
+            rows[label] = (batch.text_accuracy, batch.key_accuracy)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_accuracy_table(rows, "Fig 24(a) — accuracy per Adreno GPU"))
+    _assert_band(rows)
+
+
+def test_fig24b_resolutions(benchmark, chase):
+    n = scaled(12)
+
+    def sweep():
+        rows = {}
+        for resolution in (Resolution.FHD_PLUS, Resolution.QHD_PLUS):
+            config = default_config(resolution=resolution)
+            batch = _batch(config, chase, n, 2410 + resolution.width)
+            rows[resolution.label] = (batch.text_accuracy, batch.key_accuracy)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_accuracy_table(rows, "Fig 24(b) — accuracy per resolution"))
+    _assert_band(rows)
+    accs = [t for t, _ in rows.values()]
+    assert abs(accs[0] - accs[1]) < 0.3
+
+
+def test_fig24c_same_gpu_different_phones(benchmark, chase):
+    pairs = [("lg_v30", "pixel2"), ("oneplus9", "galaxy_s21")]
+    n = scaled(12)
+
+    def sweep():
+        rows = {}
+        for a, b in pairs:
+            for name in (a, b):
+                config = DeviceConfig(phone=phone(name))
+                batch = _batch(config, chase, n, 2420 + zlib.crc32(str(name).encode()) % 61)
+                rows[name] = (batch.text_accuracy, batch.key_accuracy)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_accuracy_table(rows, "Fig 24(c) — same GPU, different phones"))
+    _assert_band(rows)
+    # the vendor/skin has negligible impact when the GPU is the same
+    for a, b in pairs:
+        assert abs(rows[a][1] - rows[b][1]) < 0.05, (a, b)
+
+
+def test_fig24d_android_versions(benchmark, chase):
+    versions = ("8.1", "9", "10", "11")
+    n = scaled(12)
+
+    def sweep():
+        rows = {}
+        for version in versions:
+            config = default_config().with_android(version)
+            batch = _batch(config, chase, n, 2430 + int(float(version) * 10))
+            rows[f"Android {version}"] = (batch.text_accuracy, batch.key_accuracy)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_accuracy_table(rows, "Fig 24(d) — accuracy per Android version"))
+    _assert_band(rows)
+    key_accs = [k for _, k in rows.values()]
+    assert max(key_accs) - min(key_accs) < 0.05

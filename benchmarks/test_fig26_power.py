@@ -1,0 +1,63 @@
+"""Fig 26: extra battery consumption of the attack over two hours.
+
+The paper measures at most ~4 % extra battery after 2 hours across LG
+V30, Oneplus 8 Pro, Pixel 2 and Oneplus 7 Pro.  The analytic power model
+combines per-ioctl energy, inference energy, the wakeup/core cost and the
+GPU counter-sampling power of each phone's Adreno, against each phone's
+battery capacity.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.android.os_config import phone
+from repro.kgsl.sampler import PowerModel
+
+PHONES = ["lg_v30", "oneplus8pro", "pixel2", "oneplus7pro"]
+
+
+def test_fig26_battery_overhead_curves(benchmark):
+    def curves():
+        out = {}
+        for name in PHONES:
+            spec = phone(name)
+            model = PowerModel(battery_mwh=spec.battery_mwh)
+            series = [
+                model.extra_consumption_percent(
+                    minutes * 60.0, gpu_sample_power_mw=spec.gpu.sample_power_mw
+                )
+                for minutes in (30, 60, 90, 120)
+            ]
+            out[name] = series
+        return out
+
+    rows = run_once(benchmark, curves)
+    print("\nFig 26 — extra battery % at 30/60/90/120 min:")
+    for name, series in rows.items():
+        print(f"  {name:12s} " + " ".join(f"{v:5.2f}" for v in series))
+
+    for name, series in rows.items():
+        # monotone growth, bounded by ~5% after two hours (paper: <=4%)
+        assert series == sorted(series), name
+        assert series[-1] < 5.0, name
+        assert series[-1] > 0.5, name
+
+    # smaller batteries pay proportionally more
+    assert rows["pixel2"][-1] > rows["oneplus8pro"][-1]
+
+
+def test_fig26_sampling_rate_tradeoff(benchmark):
+    spec = phone("oneplus8pro")
+    model = PowerModel(battery_mwh=spec.battery_mwh)
+
+    def sweep():
+        return {
+            interval: model.extra_consumption_percent(
+                7200.0, interval_s=interval, gpu_sample_power_mw=spec.gpu.sample_power_mw
+            )
+            for interval in (0.004, 0.008, 0.012)
+        }
+
+    rows = run_once(benchmark, sweep)
+    print("\npower vs sampling interval (2h):", {k: round(v, 2) for k, v in rows.items()})
+    assert rows[0.004] > rows[0.008] > rows[0.012]

@@ -1,0 +1,64 @@
+"""Fig 27: user behavior events during the practical-use experiments.
+
+Five volunteers' 3-minute sessions mix credential typing, backspaces,
+notification-bar views and app switches.  We regenerate the event traces
+and print them in the figure's timeline style.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.android.events import (
+    AppSwitchAway,
+    AppSwitchBack,
+    BackspacePress,
+    KeyPress,
+    ViewNotificationShade,
+)
+from repro.workloads.behavior import practical_session
+from repro.workloads.typing_model import TypingModel
+
+GLYPHS = {
+    KeyPress: "o",
+    BackspacePress: "x",
+    ViewNotificationShade: "+",
+    AppSwitchAway: ">",
+    AppSwitchBack: "<",
+}
+
+
+def test_fig27_session_event_traces(benchmark):
+    def build():
+        sessions = []
+        for v in range(5):
+            rng = np.random.default_rng(2700 + v)
+            sessions.append(
+                practical_session(rng, TypingModel(rng), volunteer_index=v)
+            )
+        return sessions
+
+    sessions = run_once(benchmark, build)
+
+    print("\nFig 27 — behavior event traces (o=key x=backspace +=shade ></=switch):")
+    for i, session in enumerate(sessions, start=1):
+        marks = []
+        for event in sorted(session.events, key=lambda e: e.t):
+            glyph = GLYPHS.get(type(event))
+            if glyph and event.t < 60:
+                marks.append(glyph)
+        print(f"  volunteer {i}: {''.join(marks)}")
+
+    # every session types a credential
+    for session in sessions:
+        assert len(session.credential) >= 8
+
+    # the population exhibits all behavior kinds (figure's legend)
+    assert any(s.corrections > 0 for s in sessions)
+    assert any(s.switches > 0 for s in sessions)
+    assert any(s.shade_views > 0 for s in sessions)
+
+    # sessions are heterogeneous, like the figure's five rows
+    signatures = {
+        (s.switches, s.corrections, s.shade_views, len(s.credential)) for s in sessions
+    }
+    assert len(signatures) >= 4

@@ -1,0 +1,42 @@
+"""Section 7.6: model size and attack-application footprint.
+
+The paper reports ~3.59 KB per classification model and a worst-case APK
+payload of ~13.4 MB for 3,000 preloaded models (100 phones x 15 keyboards
+x 2 resolutions), comfortably below Play Store's 100 MB limit.
+"""
+
+from conftest import run_once
+from repro.analysis.experiments import cached_model
+from repro.android.keyboard import KEYBOARDS
+from repro.android.os_config import default_config
+from repro.core.model_store import ModelStore
+
+
+def test_sec76_model_sizes(benchmark, config, chase):
+    model = run_once(benchmark, lambda: cached_model(config, chase))
+    size_kb = model.size_bytes() / 1024.0
+    print(f"\nSection 7.6 — one model: {size_kb:.2f} KB (paper: ~3.59 KB)")
+    # same order of magnitude: kilobytes, not megabytes
+    assert 1.0 < size_kb < 64.0
+
+    projected_mb = 3000 * model.size_bytes() / 1e6
+    print(f"  3,000 preloaded models: {projected_mb:.1f} MB (paper: 13.4 MB; store limit 100 MB)")
+    assert projected_mb < 100.0, "the full model payload must fit a Play Store app"
+
+
+def test_sec76_store_round_trip_size(benchmark, chase, tmp_path):
+    def build():
+        store = ModelStore()
+        for name in ("gboard", "swift", "sogou"):
+            config = default_config(keyboard=KEYBOARDS[name])
+            store.add(cached_model(config, chase))
+        return store
+
+    store = run_once(benchmark, build)
+    path = tmp_path / "models.json"
+    store.save(path)
+    on_disk_kb = path.stat().st_size / 1024.0
+    print(f"\nmodel store with {len(store)} configurations: {on_disk_kb:.1f} KB on disk")
+    assert on_disk_kb / len(store) < 64.0
+    loaded = ModelStore.load(path)
+    assert loaded.keys() == store.keys()

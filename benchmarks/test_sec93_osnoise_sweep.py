@@ -1,0 +1,78 @@
+"""Section 9.3's open question: how much OS-injected noise is enough?
+
+"Obfuscation could also be more effectively applied from the OS, by
+randomly executing small GPU workloads in background.  The major
+challenge, however, is how to decide the appropriate amount of these
+workloads, as excessive GPU workloads impair the system's performance."
+
+This bench sweeps the injector's rate/intensity and reports the defence
+tradeoff: attack accuracy vs the GPU time the noise consumes.
+"""
+
+import numpy as np
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import single_model_attack
+from repro.analysis.metrics import AccuracyReport
+from repro.core.pipeline import simulate_credential_entry
+from repro.gpu.timeline import merge_timelines
+from repro.mitigations.obfuscation import OsNoiseInjector
+from repro.workloads.credentials import credential_batch
+
+SETTINGS = [
+    # (rate_hz, intensity)
+    (0.0, 0.0),
+    (5.0, 0.10),
+    (20.0, 0.15),
+    (60.0, 0.25),
+]
+
+
+def _run(config, chase, n):
+    attack = single_model_attack(config, chase)
+    texts = credential_batch(np.random.default_rng(93), n)
+    rows = {}
+    for rate, intensity in SETTINGS:
+        report = AccuracyReport()
+        cost = 0.0
+        for i, text in enumerate(texts):
+            trace = simulate_credential_entry(config, chase, text, seed=9300 + i)
+            if rate > 0:
+                injector = OsNoiseInjector(
+                    config.gpu,
+                    config.display,
+                    rate_hz=rate,
+                    intensity=intensity,
+                    rng=np.random.default_rng(9400 + i),
+                )
+                noise = injector.timeline(0.0, trace.end_time_s)
+                cost += noise.busy_fraction(0.0, trace.end_time_s)
+                trace.timeline = merge_timelines([trace.timeline, noise])
+            result = attack.run_on_trace(trace, seed=9500 + i)
+            report.add(text, result.text)
+        rows[(rate, intensity)] = (report, cost / max(1, len(texts)))
+    return rows
+
+
+def test_sec93_os_noise_tradeoff(benchmark, config, chase):
+    rows = run_once(benchmark, lambda: _run(config, chase, scaled(10)))
+
+    print("\nSection 9.3 — OS noise injection tradeoff:")
+    print(f"{'rate':>6s} {'intensity':>9s} {'key acc':>8s} {'text acc':>9s} {'gpu cost':>9s}")
+    ordered = []
+    for (rate, intensity), (report, cost) in rows.items():
+        print(
+            f"{rate:6.0f} {intensity:9.2f} {report.key_accuracy:8.3f} "
+            f"{report.text_accuracy:9.3f} {cost:8.1%}"
+        )
+        ordered.append((rate, report, cost))
+
+    baseline = rows[(0.0, 0.0)][0]
+    strongest = rows[SETTINGS[-1]][0]
+    # noise must hurt the attack...
+    assert strongest.key_accuracy < baseline.key_accuracy
+    assert strongest.text_accuracy < baseline.text_accuracy
+    # ...at a measurable but bounded GPU cost (the paper's tension)
+    costs = [cost for _, _, cost in ordered]
+    assert costs == sorted(costs), "stronger settings must cost more GPU time"
+    assert rows[SETTINGS[-1]][1] < 0.5, "the defence must not consume half the GPU"

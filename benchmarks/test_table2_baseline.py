@@ -1,0 +1,70 @@
+"""Table 2: the desktop-Nvidia-counter baseline (prior work [37]).
+
+Workload-level GPU counters cannot resolve key presses: across gedit, the
+Gmail login page and the Dropbox client, Naive Bayes / kNN3 / Random
+Forest stay below ~14 %, with the Random Forest the best of the three —
+while the mobile overdraw attack exceeds 95 % per key on the same task.
+"""
+
+import numpy as np
+
+from conftest import run_once, scaled
+from repro.analysis.experiments import run_credential_batch
+from repro.baselines.knn import KNearestNeighbors
+from repro.baselines.naive_bayes import GaussianNaiveBayes
+from repro.baselines.nvidia import DESKTOP_CONTEXTS, DesktopGpuSampler
+from repro.baselines.random_forest import RandomForest
+
+CHARS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _table(train_repeats, test_repeats):
+    rows = {}
+    for name, context in DESKTOP_CONTEXTS.items():
+        sampler = DesktopGpuSampler(context, rng=np.random.default_rng(2))
+        Xtr, ytr = sampler.collect(CHARS, repeats=train_repeats)
+        Xte, yte = sampler.collect(CHARS, repeats=test_repeats)
+        rows[name] = {
+            "Naive Bayes": GaussianNaiveBayes().fit(Xtr, ytr).score(Xte, yte),
+            "KNN3": KNearestNeighbors(3).fit(Xtr, ytr).score(Xte, yte),
+            "Random Forest": RandomForest(n_trees=40, max_depth=10, seed=3)
+            .fit(Xtr, ytr)
+            .score(Xte, yte),
+        }
+    return rows
+
+
+def test_table2_baseline_accuracy(benchmark):
+    rows = run_once(benchmark, lambda: _table(scaled(10), scaled(8)))
+
+    print("\nTable 2 — desktop Nvidia PC baseline (paper: 8.7-14.2%):")
+    print(f"{'classifier':15s} " + " ".join(f"{name:>15s}" for name in rows))
+    for clf in ("Naive Bayes", "KNN3", "Random Forest"):
+        print(f"{clf:15s} " + " ".join(f"{rows[ctx][clf]:15.3f}" for ctx in rows))
+
+    for context, scores in rows.items():
+        for clf, acc in scores.items():
+            assert acc < 0.20, f"{clf} on {context} must stay in the paper's band"
+            assert acc > 1.0 / 26 / 3, f"{clf} on {context} should beat random/3"
+
+    # the Random Forest is the strongest baseline on average (paper's row order)
+    means = {
+        clf: np.mean([rows[ctx][clf] for ctx in rows])
+        for clf in ("Naive Bayes", "KNN3", "Random Forest")
+    }
+    assert means["Random Forest"] >= max(means["Naive Bayes"], means["KNN3"]) - 0.01
+
+
+def test_table2_mobile_attack_dwarfs_baseline(benchmark, config, chase):
+    """Section 7.1's point: the overdraw attack is an order of magnitude
+    more accurate than the workload-counter baseline."""
+    batch = run_once(
+        benchmark,
+        lambda: run_credential_batch(config, chase, n_texts=scaled(10), seed=22),
+    )
+    baseline_best = 0.15
+    print(
+        f"\nmobile attack per-key accuracy {batch.key_accuracy:.3f} "
+        f"vs best desktop baseline ~{baseline_best}"
+    )
+    assert batch.key_accuracy > 4 * baseline_best

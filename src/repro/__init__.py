@@ -1,0 +1,144 @@
+"""Reproduction of "Eavesdropping User Credentials via GPU Side Channels
+on Smartphones" (ASPLOS 2022).
+
+The package simulates the full hardware/software stack the paper attacks —
+Qualcomm Adreno tiled rendering with performance counters, the KGSL
+device-file interface, Android UI scenes and keyboards — and implements
+the attack itself: offline model training, online Algorithm 1 inference,
+app-switch detection and correction tracking.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        CHASE, default_config, train_store, EavesdropAttack,
+        simulate_credential_entry,
+    )
+
+    config = default_config()
+    store = train_store([(config, CHASE)])
+    attack = EavesdropAttack(store)
+    trace = simulate_credential_entry(config, CHASE, "hunter2secret", seed=1)
+    result = attack.run_on_trace(trace)
+    print(result.text)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.android.apps import (
+    AMEX,
+    CHASE,
+    CHASE_WEB,
+    EXPERIAN,
+    EXPERIAN_WEB,
+    FIDELITY,
+    MYFICO,
+    NATIVE_APPS,
+    PNC,
+    SCHWAB,
+    SCHWAB_WEB,
+    TARGET_APPS,
+    AppSpec,
+    app,
+)
+from repro.android.device import SessionTrace, VictimDevice
+from repro.android.session_io import load_session, save_session
+from repro.android.display import Display, Resolution
+from repro.android.keyboard import KEYBOARDS, KeyboardSpec, keyboard
+from repro.android.os_config import (
+    ANDROID_VERSIONS,
+    PHONE_MODELS,
+    DeviceConfig,
+    PhoneModel,
+    default_config,
+    phone,
+)
+from repro.analysis.keystroke_dynamics import TypistIdentifier, timing_features
+from repro.analysis.metrics import AccuracyReport, align, edit_distance
+from repro.core.classifier import ClassificationModel, build_model
+from repro.core.guessing import CandidateGenerator
+from repro.core.launch import LaunchDetector
+from repro.core.service import MonitoringService, ServiceReport
+from repro.core.model_store import ModelStore
+from repro.core.offline import OfflineTrainer
+from repro.core.online import OnlineEngine, OnlineResult
+from repro.core.pipeline import (
+    AttackResult,
+    EavesdropAttack,
+    simulate_credential_entry,
+    train_model,
+    train_store,
+)
+from repro.gpu.adreno import ADRENO_MODELS, AdrenoSpec, adreno
+from repro.gpu.counters import SELECTED_COUNTERS, CounterGroup, CounterSpec
+from repro.kgsl.device_file import KGSL_DEVICE_PATH, KgslDeviceFile, open_kgsl
+from repro.kgsl.sampler import PerfCounterSampler, SystemLoad
+from repro.workloads.typing_model import TypingModel, VOLUNTEERS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMEX",
+    "ADRENO_MODELS",
+    "ANDROID_VERSIONS",
+    "AccuracyReport",
+    "AdrenoSpec",
+    "AppSpec",
+    "AttackResult",
+    "CandidateGenerator",
+    "LaunchDetector",
+    "MonitoringService",
+    "CHASE",
+    "CHASE_WEB",
+    "ClassificationModel",
+    "CounterGroup",
+    "CounterSpec",
+    "DeviceConfig",
+    "Display",
+    "EXPERIAN",
+    "EXPERIAN_WEB",
+    "EavesdropAttack",
+    "FIDELITY",
+    "KEYBOARDS",
+    "KGSL_DEVICE_PATH",
+    "KeyboardSpec",
+    "KgslDeviceFile",
+    "MYFICO",
+    "ModelStore",
+    "NATIVE_APPS",
+    "OfflineTrainer",
+    "OnlineEngine",
+    "OnlineResult",
+    "PHONE_MODELS",
+    "PNC",
+    "PerfCounterSampler",
+    "PhoneModel",
+    "Resolution",
+    "SCHWAB",
+    "SCHWAB_WEB",
+    "SELECTED_COUNTERS",
+    "SessionTrace",
+    "SystemLoad",
+    "TARGET_APPS",
+    "TypingModel",
+    "TypistIdentifier",
+    "VOLUNTEERS",
+    "VictimDevice",
+    "adreno",
+    "align",
+    "app",
+    "build_model",
+    "default_config",
+    "edit_distance",
+    "keyboard",
+    "load_session",
+    "open_kgsl",
+    "phone",
+    "save_session",
+    "ServiceReport",
+    "simulate_credential_entry",
+    "timing_features",
+    "train_model",
+    "train_store",
+]

@@ -1,0 +1,1 @@
+"""Metrics and report formatting for the evaluation harness."""

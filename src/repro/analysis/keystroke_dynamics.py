@@ -1,0 +1,119 @@
+"""Keystroke-dynamics analysis of the eavesdropped timestamps.
+
+Algorithm 1's output M is the timestamp of every inferred key press.
+Beyond the credential text itself, those timestamps carry biometric
+signal: inter-key intervals are known to identify typists (the paper's
+reference [43], Roh et al., uses exactly this for authentication).  This
+module turns the attack's timing side-product into a user-identification
+capability — one of the "useful information about the user" angles the
+paper alludes to when discussing incomplete mitigations.
+
+Features per session: quantiles and moments of the inter-key interval
+distribution.  Identification is nearest-profile over feature space,
+trained on labeled sessions (e.g. the five volunteers of Fig 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Feature vector layout (for debugging and tests).
+FEATURE_NAMES = (
+    "interval_median",
+    "interval_q25",
+    "interval_q75",
+    "interval_mean",
+    "interval_std",
+    "fast_share",
+    "slow_share",
+)
+
+
+def timing_features(key_times: Sequence[float]) -> Optional[np.ndarray]:
+    """Session feature vector from inferred key-press timestamps.
+
+    Returns None when fewer than 4 presses are available (too little
+    signal for a stable interval distribution).
+    """
+    times = np.asarray(sorted(key_times), dtype=float)
+    if len(times) < 4:
+        return None
+    intervals = np.diff(times)
+    # pauses (app switches, thinking) are not typing rhythm
+    intervals = intervals[intervals < 2.0]
+    if len(intervals) < 3:
+        return None
+    return np.array(
+        [
+            float(np.median(intervals)),
+            float(np.quantile(intervals, 0.25)),
+            float(np.quantile(intervals, 0.75)),
+            float(np.mean(intervals)),
+            float(np.std(intervals)),
+            float(np.mean(intervals < 0.24)),
+            float(np.mean(intervals > 0.4)),
+        ]
+    )
+
+
+@dataclass
+class TypistProfile:
+    """Accumulated timing features for one (suspected) user."""
+
+    name: str
+    sessions: List[np.ndarray] = field(default_factory=list)
+
+    def add(self, features: np.ndarray) -> None:
+        self.sessions.append(np.asarray(features, dtype=float))
+
+    @property
+    def centroid(self) -> np.ndarray:
+        if not self.sessions:
+            raise ValueError(f"profile {self.name!r} has no sessions")
+        return np.mean(np.vstack(self.sessions), axis=0)
+
+
+class TypistIdentifier:
+    """Nearest-profile identification over timing features."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, TypistProfile] = {}
+        self._scale: Optional[np.ndarray] = None
+
+    def enroll(self, name: str, key_times: Sequence[float]) -> bool:
+        """Add one labeled session; returns False if it was too short."""
+        features = timing_features(key_times)
+        if features is None:
+            return False
+        self._profiles.setdefault(name, TypistProfile(name=name)).add(features)
+        self._scale = None
+        return True
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._profiles)
+
+    def _ensure_scale(self) -> np.ndarray:
+        if self._scale is None:
+            rows = [s for p in self._profiles.values() for s in p.sessions]
+            matrix = np.vstack(rows)
+            self._scale = np.maximum(np.std(matrix, axis=0), 1e-6)
+        return self._scale
+
+    def identify(self, key_times: Sequence[float]) -> Optional[str]:
+        """Most likely enrolled typist for an observed session."""
+        if not self._profiles:
+            raise ValueError("no profiles enrolled")
+        features = timing_features(key_times)
+        if features is None:
+            return None
+        scale = self._ensure_scale()
+        best_name, best_dist = None, float("inf")
+        for name, profile in self._profiles.items():
+            dist = float(np.linalg.norm((features - profile.centroid) / scale))
+            if dist < best_dist:
+                best_name, best_dist = name, dist
+        return best_name

@@ -1,0 +1,123 @@
+"""Terminal figure rendering for the evaluation harness.
+
+The benches and examples report the paper's tables and bar charts; this
+module renders them as aligned ASCII so a harness run reads like the
+paper's evaluation section.  No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """A unicode bar of ``width`` cells for value in [0, vmax]."""
+    if vmax <= 0:
+        return ""
+    cells = max(0.0, min(1.0, value / vmax)) * width
+    full = int(cells)
+    frac = int((cells - full) * (len(_BLOCKS) - 1))
+    bar = "█" * full
+    if frac and full < width:
+        bar += _BLOCKS[frac]
+    return bar
+
+
+def bar_chart(
+    rows: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    vmax: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """A horizontal bar chart, one row per label."""
+    if not rows:
+        return title
+    limit = vmax if vmax is not None else max(rows.values()) or 1.0
+    label_w = max(len(str(label)) for label in rows)
+    lines = [title] if title else []
+    for label, value in rows.items():
+        lines.append(
+            f"{str(label):>{label_w}s} │{_bar(value, limit, width):<{width}s}│ "
+            + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Mapping[str, Tuple[float, float]],
+    series: Tuple[str, str],
+    title: str = "",
+    width: int = 30,
+) -> str:
+    """Two-series bars per label, like the paper's paired accuracy plots."""
+    if not rows:
+        return title
+    label_w = max(len(str(label)) for label in rows)
+    lines = [title] if title else []
+    lines.append(f"{'':{label_w}s}  {series[0]} ░ / {series[1]} █")
+    for label, (a, b) in rows.items():
+        bar_a = _bar(a, 1.0, width).replace("█", "░")
+        bar_b = _bar(b, 1.0, width)
+        lines.append(f"{str(label):>{label_w}s} │{bar_a:<{width}}│ {a:.3f}")
+        lines.append(f"{'':{label_w}s} │{bar_b:<{width}}│ {b:.3f}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    edges: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A binned histogram with counts and percentages (Fig 25 style)."""
+    counts = [0] * (len(edges) - 1)
+    for value in values:
+        for i in range(len(edges) - 1):
+            if edges[i] <= value < edges[i + 1]:
+                counts[i] += 1
+                break
+    total = max(1, len(values))
+    vmax = max(counts) or 1
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        label = f"{edges[i]:g}-{edges[i + 1]:g}{unit}"
+        lines.append(
+            f"{label:>16s} │{_bar(count, vmax, width):<{width}}│ "
+            f"{count} ({100 * count / total:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def table(
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width table (Table 2 style)."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title] if title else []
+    lines.append("  ".join(f"{h:>{w}s}" for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(f"{cell:>{w}s}" for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], vmax: Optional[float] = None) -> str:
+    """A one-line trend (for time series like Fig 26's battery curves)."""
+    if not values:
+        return ""
+    limit = vmax if vmax is not None else max(values) or 1.0
+    out = []
+    for value in values:
+        idx = int(max(0.0, min(1.0, value / limit)) * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx] if idx else _BLOCKS[1])
+    return "".join(out)

@@ -1,0 +1,1 @@
+"""Android substrate simulation: display, UI scenes, keyboards, devices."""

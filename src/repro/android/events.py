@@ -1,0 +1,96 @@
+"""User and system events driving the victim-device simulation.
+
+A session is a time-ordered list of these events; the victim device
+compiles them into the GPU render timeline (:mod:`repro.android.device`).
+The event vocabulary matches the behaviours the paper studies: key presses
+with popups (Section 2.2), backspace corrections (Section 5.3), app
+switches (Section 5.2), and the system noise sources of Section 5.1
+(notifications; cursor blinking is generated implicitly by the device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class KeyPress:
+    """A character key press on the on-screen keyboard."""
+
+    t: float
+    char: str
+    duration: float = 0.08
+
+    def __post_init__(self) -> None:
+        if len(self.char) != 1:
+            raise ValueError(f"KeyPress takes one character, got {self.char!r}")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+@dataclass(frozen=True)
+class BackspacePress:
+    """A backspace press — deletes one character, shows no popup."""
+
+    t: float
+    duration: float = 0.07
+
+
+@dataclass(frozen=True)
+class AppSwitchAway:
+    """The user leaves the target app via the app switcher."""
+
+    t: float
+
+
+@dataclass(frozen=True)
+class AppSwitchBack:
+    """The user returns to the target app via the app switcher."""
+
+    t: float
+
+
+@dataclass(frozen=True)
+class NotificationArrival:
+    """A notification icon appears in the status bar (system noise)."""
+
+    t: float
+
+
+@dataclass(frozen=True)
+class ViewNotificationShade:
+    """The user pulls down and releases the notification shade."""
+
+    t: float
+
+
+UserEvent = Union[
+    KeyPress,
+    BackspacePress,
+    AppSwitchAway,
+    AppSwitchBack,
+    NotificationArrival,
+    ViewNotificationShade,
+]
+
+
+def sort_events(events) -> Tuple[UserEvent, ...]:
+    """Events sorted by time; validates alternating app-switch pairing."""
+    ordered = tuple(sorted(events, key=lambda e: e.t))
+    away = False
+    for event in ordered:
+        if isinstance(event, AppSwitchAway):
+            if away:
+                raise ValueError("AppSwitchAway while already away from target app")
+            away = True
+        elif isinstance(event, AppSwitchBack):
+            if not away:
+                raise ValueError("AppSwitchBack while already in target app")
+            away = False
+        elif isinstance(event, (KeyPress, BackspacePress)) and away:
+            raise ValueError(
+                f"typing event at t={event.t} while away from the target app; "
+                "typing in other apps is modeled by the device's away-activity generator"
+            )
+    return ordered

@@ -1,0 +1,129 @@
+"""Session trace persistence: capture once, attack many.
+
+A compiled :class:`~repro.android.device.SessionTrace` is expensive to
+produce (scene rendering) and fully determines every downstream
+experiment.  Serializing traces lets the harness reuse captures across
+attack variants — and mirrors the paper's workflow of recording device
+data once and analyzing it offline.
+
+Ground truth is stored alongside the timeline but in a clearly separated
+section, so a loaded trace can be scored without recompilation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.android.apps import app
+from repro.android.device import GroundTruthPress, SessionTrace
+from repro.android.keyboard import keyboard
+from repro.android.os_config import ANDROID_VERSIONS, DeviceConfig, phone
+from repro.gpu.pipeline import FrameStats
+from repro.gpu.counters import CounterIncrement
+from repro.gpu.timeline import COUNTER_ORDER, RenderTimeline
+
+FORMAT_VERSION = 1
+
+
+def _config_to_dict(config: DeviceConfig) -> dict:
+    return {
+        "phone": config.phone.name,
+        "keyboard": config.keyboard.name,
+        "resolution": config.resolution.name,
+        "refresh_rate_hz": config.refresh_rate_hz,
+        "android": config.android.version,
+        "dark_theme": config.dark_theme,
+    }
+
+
+def _config_from_dict(data: dict) -> DeviceConfig:
+    from repro.android.display import Resolution
+
+    return DeviceConfig(
+        phone=phone(data["phone"]),
+        keyboard=keyboard(data["keyboard"]),
+        resolution=Resolution[data["resolution"]],
+        refresh_rate_hz=int(data["refresh_rate_hz"]),
+        android=ANDROID_VERSIONS[data["android"]],
+        dark_theme=bool(data["dark_theme"]),
+    )
+
+
+def save_session(trace: SessionTrace, path: Union[str, Path]) -> None:
+    """Write a session trace as compressed npz."""
+    frames = trace.timeline.frames
+    n = len(frames)
+    starts = np.array([f.start_s for f in frames], dtype=float)
+    durations = np.array([f.stats.render_time_s for f in frames], dtype=float)
+    pixels = np.array([f.stats.pixels_touched for f in frames], dtype=np.int64)
+    increments = np.zeros((n, len(COUNTER_ORDER)), dtype=np.int64)
+    for i, frame in enumerate(frames):
+        for j, cid in enumerate(COUNTER_ORDER):
+            increments[i, j] = frame.stats.increment.values.get(cid, 0)
+    labels = np.array([f.label for f in frames], dtype=object)
+
+    manifest = {
+        "version": FORMAT_VERSION,
+        "config": _config_to_dict(trace.config),
+        "app": trace.app.name,
+        "end_time_s": trace.end_time_s,
+        "presses": [
+            {"t": p.t, "char": p.char, "deleted": p.deleted} for p in trace.presses
+        ],
+        "backspaces": list(trace.backspaces),
+        "switch_intervals": [list(pair) for pair in trace.switch_intervals],
+        "frame_labels": [str(label) for label in labels],
+    }
+    np.savez_compressed(
+        Path(path),
+        manifest=np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8),
+        starts=starts,
+        durations=durations,
+        pixels=pixels,
+        increments=increments,
+    )
+
+
+def load_session(path: Union[str, Path]) -> SessionTrace:
+    """Read a session trace written by :func:`save_session`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+        if manifest.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported session version {manifest.get('version')!r}")
+        timeline = RenderTimeline()
+        starts = archive["starts"]
+        durations = archive["durations"]
+        pixels = archive["pixels"]
+        increments = archive["increments"]
+        for i, label in enumerate(manifest["frame_labels"]):
+            values = {
+                cid: int(increments[i, j])
+                for j, cid in enumerate(COUNTER_ORDER)
+                if increments[i, j]
+            }
+            timeline.add_render(
+                float(starts[i]),
+                FrameStats(
+                    increment=CounterIncrement(values=values),
+                    pixels_touched=int(pixels[i]),
+                    render_time_s=float(durations[i]),
+                ),
+                label=label,
+            )
+        trace = SessionTrace(
+            timeline=timeline,
+            config=_config_from_dict(manifest["config"]),
+            app=app(manifest["app"]),
+            presses=[
+                GroundTruthPress(t=p["t"], char=p["char"], deleted=p["deleted"])
+                for p in manifest["presses"]
+            ],
+            backspaces=list(manifest["backspaces"]),
+            switch_intervals=[tuple(pair) for pair in manifest["switch_intervals"]],
+            end_time_s=float(manifest["end_time_s"]),
+        )
+        return trace

@@ -1,0 +1,1 @@
+"""Desktop-GPU baseline (paper Table 2) and from-scratch classifiers."""

@@ -1,0 +1,62 @@
+"""k-nearest-neighbours classifier (from scratch, numpy only).
+
+The paper's Table 2 uses kNN with k=3 ("KNN3").  Features are
+standardized internally so the distance metric is not dominated by the
+large-magnitude counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+import numpy as np
+
+
+class KNearestNeighbors:
+    """Brute-force kNN with per-feature standardization."""
+
+    def __init__(self, k: int = 3) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._X: np.ndarray = np.empty((0, 0))
+        self._y: List[str] = []
+        self._mean: np.ndarray = np.empty(0)
+        self._std: np.ndarray = np.empty(0)
+
+    def fit(self, X: np.ndarray, y: Sequence[str]) -> "KNearestNeighbors":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if len(y) != X.shape[0]:
+            raise ValueError("X and y length mismatch")
+        if X.shape[0] < self.k:
+            raise ValueError(f"need at least k={self.k} training samples")
+        self._mean = X.mean(axis=0)
+        self._std = np.maximum(X.std(axis=0), 1e-12)
+        self._X = (X - self._mean) / self._std
+        self._y = list(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> List[str]:
+        if not self._y:
+            raise RuntimeError("classifier is not fitted")
+        X = (np.atleast_2d(np.asarray(X, dtype=float)) - self._mean) / self._std
+        out: List[str] = []
+        for row in X:
+            dists = np.sqrt(((self._X - row) ** 2).sum(axis=1))
+            nearest = np.argsort(dists, kind="stable")[: self.k]
+            votes = Counter(self._y[i] for i in nearest)
+            top = max(votes.values())
+            # deterministic tie break: closest neighbour among tied classes
+            tied = {label for label, count in votes.items() if count == top}
+            for i in nearest:
+                if self._y[i] in tied:
+                    out.append(self._y[i])
+                    break
+        return out
+
+    def score(self, X: np.ndarray, y: Sequence[str]) -> float:
+        predictions = self.predict(X)
+        return sum(p == t for p, t in zip(predictions, y)) / len(y)

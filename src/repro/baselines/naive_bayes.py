@@ -1,0 +1,66 @@
+"""Gaussian Naive Bayes classifier (from scratch, numpy only).
+
+Used for the paper's Table 2 baseline ("Naive Bayers" row).  Features are
+assumed conditionally independent Gaussians per class; priors are the
+empirical class frequencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+#: Variance floor to keep the likelihood finite for constant features.
+VAR_FLOOR = 1e-9
+
+
+class GaussianNaiveBayes:
+    """Per-class Gaussian likelihoods with empirical priors."""
+
+    def __init__(self) -> None:
+        self.classes_: List[str] = []
+        self._means: np.ndarray = np.empty((0, 0))
+        self._vars: np.ndarray = np.empty((0, 0))
+        self._log_priors: np.ndarray = np.empty(0)
+
+    def fit(self, X: np.ndarray, y: Sequence[str]) -> "GaussianNaiveBayes":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if len(y) != X.shape[0]:
+            raise ValueError("X and y length mismatch")
+        labels = sorted(set(y))
+        if not labels:
+            raise ValueError("no training data")
+        y_arr = np.asarray(list(y))
+        means, variances, priors = [], [], []
+        for label in labels:
+            rows = X[y_arr == label]
+            means.append(rows.mean(axis=0))
+            variances.append(np.maximum(rows.var(axis=0), VAR_FLOOR))
+            priors.append(len(rows) / len(y_arr))
+        self.classes_ = labels
+        self._means = np.vstack(means)
+        self._vars = np.vstack(variances)
+        self._log_priors = np.log(np.asarray(priors))
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        # (n, 1, d) - (1, c, d) -> (n, c, d)
+        diff = X[:, None, :] - self._means[None, :, :]
+        log_pdf = -0.5 * (
+            np.log(2.0 * np.pi * self._vars)[None, :, :] + diff**2 / self._vars[None, :, :]
+        )
+        return log_pdf.sum(axis=2) + self._log_priors[None, :]
+
+    def predict(self, X: np.ndarray) -> List[str]:
+        if not self.classes_:
+            raise RuntimeError("classifier is not fitted")
+        jll = self._joint_log_likelihood(np.atleast_2d(X))
+        return [self.classes_[i] for i in np.argmax(jll, axis=1)]
+
+    def score(self, X: np.ndarray, y: Sequence[str]) -> float:
+        predictions = self.predict(X)
+        return sum(p == t for p, t in zip(predictions, y)) / len(y)

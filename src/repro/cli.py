@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``steal``    — end-to-end attack demo on one configuration
+* ``train``    — offline phase; writes a model store JSON
+* ``attack``   — online phase against a simulated victim, using a store
+* ``survey``   — per-key weak-spot report for a keyboard
+* ``report``   — regenerate the evaluation figures into a directory
+* ``devices``  — list modeled phones, keyboards and apps
+
+The CLI is a thin shell over the public API; every command prints the
+equivalent library calls so it doubles as documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU side-channel keystroke inference (ASPLOS'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    steal = sub.add_parser("steal", help="train + attack one credential end to end")
+    steal.add_argument("credential", nargs="?", default="Tr0ub4dor&3")
+    steal.add_argument("--phone", default="oneplus8pro")
+    steal.add_argument("--keyboard", default="gboard")
+    steal.add_argument("--app", default="chase")
+    steal.add_argument("--seed", type=int, default=42)
+
+    train = sub.add_parser("train", help="offline phase: train and save models")
+    train.add_argument("output", help="model store JSON path")
+    train.add_argument("--phone", action="append", default=[])
+    train.add_argument("--keyboard", action="append", default=[])
+    train.add_argument("--app", action="append", default=[])
+
+    attack = sub.add_parser("attack", help="online phase using a saved store")
+    attack.add_argument("store", help="model store JSON path")
+    attack.add_argument("credential")
+    attack.add_argument("--phone", default="oneplus8pro")
+    attack.add_argument("--keyboard", default="gboard")
+    attack.add_argument("--app", default="chase")
+    attack.add_argument("--seed", type=int, default=42)
+    attack.add_argument("--guesses", type=int, default=10)
+
+    survey = sub.add_parser("survey", help="per-key weak spots for a keyboard")
+    survey.add_argument("--keyboard", default="gboard")
+    survey.add_argument("--repeats", type=int, default=6)
+
+    report = sub.add_parser("report", help="regenerate the evaluation figures")
+    report.add_argument("output_dir")
+    report.add_argument("--scale", type=int, default=1)
+
+    sub.add_parser("devices", help="list modeled phones, keyboards and apps")
+    return parser
+
+
+def _config(phone_name: str, keyboard_name: str):
+    from repro.android.keyboard import keyboard
+    from repro.android.os_config import DeviceConfig, phone
+
+    return DeviceConfig(phone=phone(phone_name), keyboard=keyboard(keyboard_name))
+
+
+def _cmd_steal(args) -> int:
+    from repro.android.apps import app
+    from repro.core.model_store import ModelStore
+    from repro.core.pipeline import EavesdropAttack, simulate_credential_entry, train_model
+
+    config = _config(args.phone, args.keyboard)
+    target = app(args.app)
+    print(f"training model for {config.config_key()} / {target.name} ...")
+    model = train_model(config, target)
+    store = ModelStore()
+    store.add(model)
+    attack = EavesdropAttack(store, recognize_device=False)
+    trace = simulate_credential_entry(config, target, args.credential, seed=args.seed)
+    result = attack.run_on_trace(trace, seed=args.seed + 1)
+    print(f"typed    : {args.credential!r}")
+    print(f"inferred : {result.text!r}")
+    print("outcome  : " + ("EXACT" if result.text == args.credential else "partial"))
+    return 0 if result.text == args.credential else 1
+
+
+def _cmd_train(args) -> int:
+    from repro.android.apps import app
+    from repro.core.pipeline import train_store
+
+    phones = args.phone or ["oneplus8pro"]
+    keyboards = args.keyboard or ["gboard"]
+    apps = args.app or ["chase"]
+    pairs = [
+        (_config(p, k), app(a)) for p in phones for k in keyboards for a in apps
+    ]
+    print(f"training {len(pairs)} model(s) ...")
+    store = train_store(pairs)
+    store.save(args.output)
+    print(
+        f"wrote {args.output}: {len(store)} models, "
+        f"{store.total_size_bytes() / 1024:.1f} KB"
+    )
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.android.apps import app
+    from repro.core.guessing import CandidateGenerator
+    from repro.core.model_store import ModelStore
+    from repro.core.pipeline import EavesdropAttack, simulate_credential_entry
+
+    store = ModelStore.load(args.store)
+    config = _config(args.phone, args.keyboard)
+    target = app(args.app)
+    attack = EavesdropAttack(store)
+    trace = simulate_credential_entry(config, target, args.credential, seed=args.seed)
+    result = attack.run_on_trace(trace, seed=args.seed + 1)
+    print(f"recognized: {result.model_key}")
+    print(f"typed     : {args.credential!r}")
+    print(f"inferred  : {result.text!r}")
+    if result.text != args.credential and args.guesses > 1:
+        model = store.get(result.model_key)
+        generator = CandidateGenerator(model)
+        rank = generator.rank_of(result.online, args.credential, max_candidates=args.guesses)
+        if rank is not None:
+            print(f"recovered : guess #{rank} of {args.guesses}")
+            return 0
+        print(f"not recovered within {args.guesses} guesses")
+        return 1
+    return 0 if result.text == args.credential else 1
+
+
+def _cmd_survey(args) -> int:
+    from repro.analysis.experiments import run_per_key_sweep
+    from repro.analysis.reporting import bar_chart
+    from repro.android.apps import CHASE
+    from repro.android.keyboard import KEYBOARDS
+    from repro.android.os_config import default_config
+
+    if args.keyboard not in KEYBOARDS:
+        print(f"unknown keyboard {args.keyboard!r}; available: {sorted(KEYBOARDS)}")
+        return 2
+    config = default_config(keyboard=KEYBOARDS[args.keyboard])
+    stats = run_per_key_sweep(config, CHASE, repeats=args.repeats)
+    accuracy = {c: correct / total for c, (correct, total) in stats.items() if total}
+    worst = dict(sorted(accuracy.items(), key=lambda kv: kv[1])[:12])
+    print(bar_chart(worst, title=f"weakest keys on {args.keyboard}", vmax=1.0))
+    overall = sum(c for c, _ in stats.values()) / max(1, sum(t for _, t in stats.values()))
+    print(f"overall per-key accuracy: {overall:.3f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    written = generate_report(args.output_dir, scale=args.scale)
+    for name, path in written.items():
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_devices(args) -> int:
+    from repro.android.apps import TARGET_APPS
+    from repro.android.keyboard import KEYBOARDS
+    from repro.android.os_config import PHONE_MODELS
+
+    print("phones:")
+    for name, spec in sorted(PHONE_MODELS.items()):
+        print(f"  {name:12s} {spec.display_name} ({spec.gpu.name}, Android {spec.android.version})")
+    print("keyboards:")
+    for name, spec in sorted(KEYBOARDS.items()):
+        print(f"  {name:12s} {spec.display_name}")
+    print("apps:")
+    for name, spec in sorted(TARGET_APPS.items()):
+        print(f"  {name:14s} {spec.display_name} ({spec.category})")
+    return 0
+
+
+_COMMANDS = {
+    "steal": _cmd_steal,
+    "train": _cmd_train,
+    "attack": _cmd_attack,
+    "survey": _cmd_survey,
+    "report": _cmd_report,
+    "devices": _cmd_devices,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""The attack: feature extraction, classification, online inference."""

@@ -1,0 +1,325 @@
+"""The per-configuration classification model (paper Section 5.1, Fig 12).
+
+The model holds one centroid per *class* in the 11-dimensional counter
+space.  Classes come in two kinds:
+
+* **key classes** (``key:<char>``) — the first PC value change of each key
+  press, the signal used for eavesdropping;
+* **reject classes** — every other recurring screen change the offline
+  phase observes: text-field redraws (``field:<n>``, which carry the
+  input-length signal of Section 5.3), popup dismissals, notification-bar
+  redraws, app-switch frames.  Training explicit reject classes is how the
+  model "distinguish[es] between GPU hardware events caused by key presses
+  and other system factors".
+
+Classification is nearest-centroid under a per-dimension normalized
+Euclidean distance, thresholded by ``cth`` — the paper's classification
+threshold :math:`C_{th}`, "decided accordingly to eliminate any false
+positives".  Distances above ``cth`` classify as ``None`` (system noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import features
+
+KEY_PREFIX = "key:"
+FIELD_PREFIX = "field:"
+
+#: Composite changes carry the jitter of two independent frames, so their
+#: acceptance threshold scales by ~sqrt(2) over the single-frame cth.
+COMPOSITE_CTH_FACTOR = 1.6
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Result of classifying one PC value change."""
+
+    label: Optional[str]
+    distance: float
+
+    @property
+    def is_key(self) -> bool:
+        return self.label is not None and self.label.startswith(KEY_PREFIX)
+
+    @property
+    def is_field(self) -> bool:
+        return self.label is not None and self.label.startswith(FIELD_PREFIX)
+
+    @property
+    def key_char(self) -> Optional[str]:
+        if not self.is_key:
+            return None
+        return self.label[len(KEY_PREFIX):]
+
+    @property
+    def field_length(self) -> Optional[int]:
+        if not self.is_field:
+            return None
+        return int(self.label[len(FIELD_PREFIX):].split(":")[0])
+
+
+class ClassificationModel:
+    """Nearest-centroid model for one (device configuration, app) pair."""
+
+    def __init__(
+        self,
+        labels: Sequence[str],
+        centroids: np.ndarray,
+        scale: np.ndarray,
+        cth: float,
+        model_key: str = "",
+        metadata: Optional[Dict[str, object]] = None,
+        deflate_direction: Optional[np.ndarray] = None,
+    ) -> None:
+        if centroids.ndim != 2 or centroids.shape[1] != features.DIMENSIONS:
+            raise ValueError(
+                f"centroids must be (n, {features.DIMENSIONS}), got {centroids.shape}"
+            )
+        if len(labels) != centroids.shape[0]:
+            raise ValueError("labels and centroids length mismatch")
+        if cth <= 0:
+            raise ValueError("cth must be positive")
+        self.labels = list(labels)
+        self.centroids = centroids.astype(float)
+        self.scale = scale.astype(float)
+        self.cth = float(cth)
+        self.model_key = model_key
+        self.metadata = dict(metadata or {})
+        self.deflate_direction = (
+            None if deflate_direction is None else np.asarray(deflate_direction, dtype=float)
+        )
+        self._scaled = self._transform_rows(self.centroids / self.scale)
+        self._composite_cache: Dict[Tuple[str, ...], Tuple[List[int], List[int], np.ndarray, np.ndarray]] = {}
+
+    def _transform_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Apply the deflation projection (if any) to scaled-space rows."""
+        if self.deflate_direction is None:
+            return rows
+        u = self.deflate_direction
+        return rows - (rows @ u)[..., None] * u
+
+    def with_deflation(self, direction: np.ndarray) -> "ClassificationModel":
+        """A view of this model operating in the subspace orthogonal to
+        ``direction`` (a unit vector in scaled feature space).
+
+        Used against concurrent GPU workloads (Fig 22b): a background app
+        adds an increment of unknown magnitude but stable direction to
+        every counter read; classifying with that direction projected out
+        of both observations and centroids removes the contamination.
+        """
+        return ClassificationModel(
+            labels=self.labels,
+            centroids=self.centroids,
+            scale=self.scale,
+            cth=self.cth,
+            model_key=self.model_key,
+            metadata=self.metadata,
+            deflate_direction=direction,
+        )
+
+    # ------------------------------------------------------------------
+
+    def classify_vector(self, vec: np.ndarray) -> Classification:
+        """Nearest centroid with threshold; O(classes x dims) vectorized.
+
+        This is the "inference" the paper times at <0.1 ms (Fig 25).
+        """
+        scaled = self._transform_rows(vec / self.scale)
+        diffs = self._scaled - scaled
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        best = int(np.argmin(dists))
+        distance = float(dists[best])
+        if distance > self.cth:
+            return Classification(label=None, distance=distance)
+        return Classification(label=self.labels[best], distance=distance)
+
+    def classify(self, delta) -> Classification:
+        return self.classify_vector(features.vectorize(delta))
+
+    def classify_composite(
+        self,
+        vec: np.ndarray,
+        subtract_prefixes: Tuple[str, ...] = ("reject:dismiss", "field:"),
+        field_lengths: Optional[Sequence[int]] = None,
+    ) -> Classification:
+        """Best key interpretation of ``vec`` minus one known non-key class.
+
+        Fast typing can land the previous popup's dismissal — or a text
+        field redraw (echo, cursor blink) — in the same counter read as the
+        next key press; the composite change is then the sum of a known
+        signature and a press signature.  Since the offline phase learned
+        every dismiss and field centroid, the engine can search over
+        ``vec - centroid`` residuals for a key match.  Wrong subtraction
+        candidates leave large (often negative) residuals and lose on
+        distance, so no clamping is needed.
+        """
+        cached = self._composite_cache.get(subtract_prefixes)
+        if cached is None:
+            sub_rows = [
+                i
+                for i, label in enumerate(self.labels)
+                if label.startswith(subtract_prefixes)
+            ]
+            key_rows = [
+                i for i, label in enumerate(self.labels) if label.startswith(KEY_PREFIX)
+            ]
+            subs = self._scaled[sub_rows] if sub_rows else np.empty((0, 0))
+            keys = self._scaled[key_rows] if key_rows else np.empty((0, 0))
+            # composite centroid grid: sub + key, flattened to (s*k, d),
+            # with squared norms precomputed for the gemm distance trick
+            if sub_rows and key_rows:
+                grid = subs[:, None, :] + keys[None, :, :]
+                grid = grid.reshape(-1, subs.shape[1])
+                norms = np.einsum("ij,ij->i", grid, grid)
+            else:
+                grid = np.empty((0, 0))
+                norms = np.empty(0)
+            cached = (sub_rows, key_rows, grid, norms)
+            self._composite_cache[subtract_prefixes] = cached
+        sub_rows, key_rows, grid, norms = cached
+        if not sub_rows or not key_rows:
+            return Classification(label=None, distance=float("inf"))
+        scaled = self._transform_rows(vec / self.scale)
+        # ||g - v||^2 = ||g||^2 - 2 g.v + ||v||^2, minimized over the grid
+        scores = norms - 2.0 * (grid @ scaled)
+        if field_lengths is not None:
+            # restrict field-family subtraction candidates to lengths near
+            # the correction tracker's current estimate; the attacker knows
+            # how long the input is, so distant lengths are impossible
+            allowed = set(field_lengths)
+            k = len(key_rows)
+            for si, row in enumerate(sub_rows):
+                label = self.labels[row]
+                if label.startswith(FIELD_PREFIX):
+                    length = int(label.split(":")[1])
+                    if length not in allowed:
+                        scores[si * k : (si + 1) * k] = np.inf
+        flat = int(np.argmin(scores))
+        if not np.isfinite(scores[flat]):
+            return Classification(label=None, distance=float("inf"))
+        distance = float(np.sqrt(max(0.0, scores[flat] + float(scaled @ scaled))))
+        if distance > self.cth * COMPOSITE_CTH_FACTOR:
+            return Classification(label=None, distance=distance)
+        best_key = key_rows[flat % len(key_rows)]
+        return Classification(label=self.labels[best_key], distance=distance)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def key_labels(self) -> List[str]:
+        return [label for label in self.labels if label.startswith(KEY_PREFIX)]
+
+    def centroid(self, label: str) -> np.ndarray:
+        return self.centroids[self.labels.index(label)]
+
+    def size_bytes(self) -> int:
+        """Serialized model size — the paper reports ~3.59 KB per model."""
+        return len(self.to_json().encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Serialization (the models are preloaded into the attack APK)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model_key": self.model_key,
+            "labels": self.labels,
+            "centroids": [[round(x, 2) for x in row] for row in self.centroids.tolist()],
+            "scale": [round(x, 4) for x in self.scale.tolist()],
+            "cth": self.cth,
+            "metadata": self.metadata,
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ClassificationModel":
+        return cls(
+            labels=list(data["labels"]),  # type: ignore[arg-type]
+            centroids=np.array(data["centroids"], dtype=float),
+            scale=np.array(data["scale"], dtype=float),
+            cth=float(data["cth"]),  # type: ignore[arg-type]
+            model_key=str(data.get("model_key", "")),
+            metadata=dict(data.get("metadata") or {}),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClassificationModel":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+
+def build_model(
+    samples_by_label: Mapping[str, Sequence[np.ndarray]],
+    model_key: str = "",
+    cth_margin: float = 2.0,
+    min_cth: float = 0.35,
+    metadata: Optional[Dict[str, object]] = None,
+) -> ClassificationModel:
+    """Fit centroids and the classification threshold from labeled samples.
+
+    ``cth`` follows the paper's procedure: large enough to absorb the worst
+    intra-class spread observed offline (times a safety margin) so genuine
+    key presses are never rejected.  False positives on recurring system
+    events are prevented structurally — every such event has its own
+    reject centroid, which is always nearer than any key centroid — while
+    out-of-vocabulary changes (merged events, other-app activity) fall
+    outside ``cth`` of everything and classify as noise.  Pairs of nearly
+    identical key popups (',' vs '.') remain nearest-centroid rivals, which
+    is exactly where the paper's Fig 18 errors concentrate.
+    """
+    labels: List[str] = []
+    centroid_rows: List[np.ndarray] = []
+    key_rows: List[np.ndarray] = []
+    all_rows: List[np.ndarray] = []
+    for label, vectors in sorted(samples_by_label.items()):
+        if not len(vectors):
+            continue
+        matrix = np.vstack(vectors)
+        labels.append(label)
+        centroid_rows.append(np.median(matrix, axis=0))
+        all_rows.append(matrix)
+        if label.startswith(KEY_PREFIX):
+            key_rows.append(matrix)
+    if not labels:
+        raise ValueError("no labeled samples to build a model from")
+    centroids = np.vstack(centroid_rows)
+    # The normalization scale must reflect the *discriminative* spread —
+    # the differences between key popups — not the huge full-screen
+    # transition classes, which would otherwise collapse all key clusters
+    # onto each other in normalized space.
+    scale_rows = np.vstack(key_rows) if key_rows else np.vstack(all_rows)
+    scale = features.robust_scale(scale_rows)
+
+    # Worst intra-class radius in normalized space.  Only key classes
+    # matter for the threshold: cth must accept every genuine key press;
+    # reject classes win by proximity, not by threshold.
+    key_labels = [label for label in labels if label.startswith(KEY_PREFIX)]
+    relevant = key_labels if key_labels else labels
+    intra = 0.0
+    for label, row in zip(labels, centroids):
+        if label not in relevant:
+            continue
+        vectors = np.vstack(samples_by_label[label])
+        diffs = (vectors - row) / scale
+        radius = float(np.max(np.sqrt(np.einsum("ij,ij->i", diffs, diffs))))
+        intra = max(intra, radius)
+
+    cth = max(min_cth, intra * cth_margin)
+    return ClassificationModel(
+        labels=labels,
+        centroids=centroids,
+        scale=scale,
+        cth=cth,
+        model_key=model_key,
+        metadata=metadata,
+    )

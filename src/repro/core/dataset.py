@@ -1,0 +1,61 @@
+"""Persistence for offline-phase training data.
+
+The paper's offline phase runs on a fleet of rooted devices; collected PC
+data "is stored in the device's local storage" (Section 6) and shipped to
+the attacker for model construction.  This module serializes
+:class:`~repro.core.offline.TrainingData` so collection and training can
+run on different machines — and so experiments can retrain models without
+re-simulating the bot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.core.offline import TrainingData
+
+#: Format version written into every dataset file.
+FORMAT_VERSION = 1
+
+
+def save_training_data(data: TrainingData, path: Union[str, Path]) -> None:
+    """Write a dataset as compressed npz with a JSON manifest inside."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    labels: List[str] = []
+    for index, (label, vectors) in enumerate(sorted(data.vectors_by_label.items())):
+        arrays[f"class_{index}"] = np.vstack(vectors)
+        labels.append(label)
+    manifest = {
+        "version": FORMAT_VERSION,
+        "labels": labels,
+        "clean_windows": data.clean_windows,
+        "discarded_windows": data.discarded_windows,
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_training_data(path: Union[str, Path]) -> TrainingData:
+    """Read a dataset written by :func:`save_training_data`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+        if manifest.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset version {manifest.get('version')!r}"
+            )
+        data = TrainingData(
+            clean_windows=int(manifest["clean_windows"]),
+            discarded_windows=int(manifest["discarded_windows"]),
+        )
+        for index, label in enumerate(manifest["labels"]):
+            matrix = archive[f"class_{index}"]
+            data.vectors_by_label[label] = [row for row in np.asarray(matrix, dtype=float)]
+    return data

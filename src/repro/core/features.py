@@ -1,0 +1,74 @@
+"""Feature extraction: PC deltas as vectors in counter space.
+
+Each GPU PC value change is an 11-dimensional integer vector over the
+selected counters of Table 1 (in :data:`repro.gpu.timeline.COUNTER_ORDER`).
+The classifier of Section 5.1 / Fig 12 operates on these vectors in "a
+high-dimension space" spanned by all selected PCs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.gpu import counters as pc
+from repro.gpu.timeline import COUNTER_ORDER
+from repro.kgsl.sampler import PcDelta
+
+#: Number of feature dimensions (= selected counters).
+DIMENSIONS = len(COUNTER_ORDER)
+
+_INDEX: Dict[pc.CounterId, int] = {cid: i for i, cid in enumerate(COUNTER_ORDER)}
+
+
+def vectorize(delta: PcDelta) -> np.ndarray:
+    """One delta as a float vector in the canonical counter order."""
+    vec = np.zeros(DIMENSIONS, dtype=float)
+    for counter_id, value in delta.values.items():
+        index = _INDEX.get(counter_id)
+        if index is not None:
+            vec[index] = float(value)
+    return vec
+
+
+def vectorize_mapping(values: Mapping[pc.CounterId, int]) -> np.ndarray:
+    """A raw counter-id mapping as a feature vector."""
+    vec = np.zeros(DIMENSIONS, dtype=float)
+    for counter_id, value in values.items():
+        index = _INDEX.get(counter_id)
+        if index is not None:
+            vec[index] = float(value)
+    return vec
+
+
+def vectorize_many(deltas: Iterable[PcDelta]) -> np.ndarray:
+    """Stack of feature vectors, shape (n, DIMENSIONS)."""
+    rows = [vectorize(d) for d in deltas]
+    if not rows:
+        return np.zeros((0, DIMENSIONS), dtype=float)
+    return np.vstack(rows)
+
+
+def counter_index(spec: pc.CounterSpec) -> int:
+    """Column index of one counter in the feature vector."""
+    return _INDEX[spec.counter_id]
+
+
+def robust_scale(matrix: np.ndarray, floor: float = 1.0) -> np.ndarray:
+    """Per-dimension scale for distance normalization.
+
+    Uses the standard deviation across all training vectors — the
+    discriminative spread — floored so constant dimensions (e.g. exact
+    primitive counts) still contribute rather than dividing by zero.
+    """
+    if matrix.size == 0:
+        return np.full(DIMENSIONS, floor, dtype=float)
+    spread = np.std(matrix, axis=0)
+    return np.maximum(spread, floor)
+
+
+def normalized_distance(a: np.ndarray, b: np.ndarray, scale: np.ndarray) -> float:
+    """Scale-normalized Euclidean distance between two feature vectors."""
+    diff = (a - b) / scale
+    return float(np.sqrt(np.dot(diff, diff)))

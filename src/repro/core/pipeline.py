@@ -1,0 +1,212 @@
+"""End-to-end attack pipeline: the public high-level API.
+
+Ties together the full chain of the paper's Fig 4:
+
+* **Offline**: :func:`train_model` / :func:`train_store` run the bot on
+  attacker-controlled device configurations and preload the model store.
+* **Online**: :class:`EavesdropAttack` samples the victim's KGSL device
+  file, recognizes the device configuration, and runs Algorithm 1 to
+  infer the credential.
+
+Typical use::
+
+    store = train_store([(config, app)])
+    attack = EavesdropAttack(store)
+    trace = simulate_credential_entry(config, app, "hunter2secret", seed=1)
+    result = attack.run_on_trace(trace)
+    assert result.text == "hunter2secret"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.android.apps import AppSpec
+from repro.android.device import SessionTrace, VictimDevice
+from repro.android.os_config import DeviceConfig
+from repro.core.device_recognition import DeviceRecognizer, RecognitionResult
+from repro.core.model_store import ModelStore
+from repro.core.offline import OfflineTrainer
+from repro.core.online import OnlineEngine, OnlineResult
+from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
+from repro.kgsl.sampler import (
+    DEFAULT_INTERVAL_S,
+    IDLE,
+    PerfCounterSampler,
+    SystemLoad,
+    nonzero_deltas,
+)
+from repro.workloads.background import render_slowdown, with_background_load
+from repro.workloads.behavior import typing_events
+from repro.workloads.typing_model import TypingModel
+
+
+def train_model(
+    config: DeviceConfig,
+    app: AppSpec,
+    seed: int = 7,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    sweep_repeats: int = 4,
+):
+    """Offline-train the classification model for one (config, app) pair."""
+    trainer = OfflineTrainer(
+        config, app, rng=np.random.default_rng(seed), interval_s=interval_s
+    )
+    return trainer.train(sweep_repeats=sweep_repeats)
+
+
+def train_store(
+    pairs: Iterable[Tuple[DeviceConfig, AppSpec]],
+    seed: int = 7,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    sweep_repeats: int = 4,
+) -> ModelStore:
+    """Offline phase over several configurations: the preloaded store."""
+    store = ModelStore()
+    for i, (config, app) in enumerate(pairs):
+        store.add(
+            train_model(
+                config,
+                app,
+                seed=seed + i,
+                interval_s=interval_s,
+                sweep_repeats=sweep_repeats,
+            )
+        )
+    return store
+
+
+def simulate_credential_entry(
+    config: DeviceConfig,
+    app: AppSpec,
+    text: str,
+    seed: int = 1,
+    speed_tier: Optional[str] = None,
+    tail_s: float = 1.2,
+    gpu_utilization: float = 0.0,
+) -> SessionTrace:
+    """Compile a victim session where ``text`` is typed into ``app``."""
+    rng = np.random.default_rng(seed)
+    typing = TypingModel(rng)
+    events = typing_events(text, typing, start_s=0.6, speed_tier=speed_tier)
+    slowdown = render_slowdown(gpu_utilization) if gpu_utilization else 1.0
+    device = VictimDevice(config, app, rng=rng, render_slowdown=slowdown)
+    end = (events[-1].t if events else 0.6) + tail_s
+    trace = device.compile(events, end_time_s=end)
+    if gpu_utilization:
+        trace.timeline = with_background_load(
+            trace.timeline, config.gpu, config.display, gpu_utilization, end, rng=rng
+        )
+    return trace
+
+
+@dataclass
+class AttackResult:
+    """Everything the attacking application would send home, plus
+    diagnostics for the evaluation harness."""
+
+    online: OnlineResult
+    model_key: str
+    recognition: Optional[RecognitionResult]
+    samples_taken: int
+    reads_dropped: int
+
+    @property
+    def text(self) -> str:
+        return self.online.text
+
+    @property
+    def inference_times_s(self) -> List[float]:
+        return self.online.inference_times_s
+
+
+class EavesdropAttack:
+    """The online attacking application."""
+
+    def __init__(
+        self,
+        store: ModelStore,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        recognize_device: bool = True,
+        detect_switches: bool = True,
+        track_corrections: bool = True,
+        recover_collisions: bool = True,
+    ) -> None:
+        if len(store) == 0:
+            raise ValueError("model store is empty — run the offline phase first")
+        self.store = store
+        self.interval_s = interval_s
+        self.recognize_device = recognize_device
+        self.detect_switches = detect_switches
+        self.track_corrections = track_corrections
+        self.recover_collisions = recover_collisions
+
+    def run_on_trace(
+        self,
+        trace: SessionTrace,
+        load: SystemLoad = IDLE,
+        seed: int = 99,
+        model_key: Optional[str] = None,
+        access_policy=None,
+    ) -> AttackResult:
+        """Sample the victim timeline and infer the typed credential.
+
+        Args:
+            trace: compiled victim session.
+            load: concurrent CPU/GPU utilization (Section 7.3).
+            seed: RNG seed for the sampler's scheduling jitter.
+            model_key: skip recognition and force a specific model.
+            access_policy: optional mitigation enforced at the device file.
+        """
+        rng = np.random.default_rng(seed)
+        clock = DeviceClock()
+        kgsl = open_kgsl(
+            trace.timeline,
+            clock=clock,
+            context=ProcessContext(),
+            access_policy=access_policy,
+            adreno_model=trace.config.gpu.model,
+        )
+        sampler = PerfCounterSampler(kgsl, interval_s=self.interval_s, rng=rng)
+        samples = sampler.sample_range(0.0, trace.end_time_s, load=load)
+        stream = nonzero_deltas(samples)
+
+        recognition: Optional[RecognitionResult] = None
+        if model_key is None:
+            if self.recognize_device and len(self.store) > 1:
+                # narrow the candidates with the unprivileged chip-id query
+                from repro.kgsl.ioctl import (
+                    IOCTL_KGSL_DEVICE_GETPROPERTY,
+                    KGSL_PROP_DEVICE_INFO,
+                    KgslDeviceGetProperty,
+                )
+
+                prop = KgslDeviceGetProperty(type=KGSL_PROP_DEVICE_INFO)
+                kgsl.ioctl(IOCTL_KGSL_DEVICE_GETPROPERTY, prop)
+                recognizer = DeviceRecognizer(self.store)
+                recognition = recognizer.recognize(
+                    stream, adreno_model=prop.value.adreno_model
+                )
+                model_key = recognition.model_key
+            else:
+                model_key = self.store.keys()[0]
+        model = self.store.get(model_key)
+
+        engine = OnlineEngine(
+            model,
+            interval_s=self.interval_s,
+            detect_switches=self.detect_switches,
+            track_corrections=self.track_corrections,
+            recover_collisions=self.recover_collisions,
+        )
+        online = engine.process(stream)
+        return AttackResult(
+            online=online,
+            model_key=model_key,
+            recognition=recognition,
+            samples_taken=len(samples),
+            reads_dropped=sampler.reads_dropped,
+        )

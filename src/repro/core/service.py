@@ -1,0 +1,168 @@
+"""The background monitoring service: the full Fig 4 online pipeline.
+
+The attack application "will spawn a monitoring process, which runs as an
+Android service in background" (Section 3.2).  The service has two modes:
+
+* **idle watch** — a cheap slow poll (4 Hz) of the counters, enough for
+  :class:`~repro.core.launch.LaunchDetector` to spot the target app's
+  launch, and practically free in power (Fig 26's negligible overhead
+  while the victim is elsewhere);
+* **attack** — once the launch is confirmed, the full 8 ms sampling loop
+  plus device recognition and the Algorithm 1 engine, for as long as the
+  login screen is expected to be in use.
+
+Only the inference results leave the device ("Only the results of
+eavesdropping are sent back to the attacker"), which the
+:class:`ServiceReport` reflects: it carries the inferred text and
+timestamps, never raw counter traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.android.device import SessionTrace
+from repro.core.launch import IDLE_POLL_INTERVAL_S, LaunchDetector, LaunchEvent
+from repro.core.model_store import ModelStore
+from repro.core.pipeline import EavesdropAttack
+from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
+from repro.kgsl.sampler import (
+    DEFAULT_INTERVAL_S,
+    IDLE,
+    PerfCounterSampler,
+    SystemLoad,
+    nonzero_deltas,
+)
+
+
+@dataclass
+class ServiceReport:
+    """What the service sends back — results only, never raw traces."""
+
+    launch_detected_at: Optional[float]
+    inferred_text: str
+    key_times: List[float] = field(default_factory=list)
+    deletions_detected: int = 0
+    model_key: str = ""
+    idle_reads: int = 0
+    attack_reads: int = 0
+
+    @property
+    def reads_saved_vs_always_on(self) -> float:
+        """Fraction of reads the idle watch avoided compared to sampling
+        at the attack cadence from boot."""
+        total_if_always_on = self.attack_reads + self.idle_reads * (
+            IDLE_POLL_INTERVAL_S / DEFAULT_INTERVAL_S
+        )
+        taken = self.attack_reads + self.idle_reads
+        if total_if_always_on <= 0:
+            return 0.0
+        return 1.0 - taken / total_if_always_on
+
+
+class MonitoringService:
+    """Composes launch detection and the eavesdropping attack."""
+
+    def __init__(
+        self,
+        store: ModelStore,
+        idle_interval_s: float = IDLE_POLL_INTERVAL_S,
+        attack_interval_s: float = DEFAULT_INTERVAL_S,
+        attack_window_s: float = 60.0,
+    ) -> None:
+        if len(store) == 0:
+            raise ValueError("model store is empty")
+        self.store = store
+        self.idle_interval_s = idle_interval_s
+        self.attack_interval_s = attack_interval_s
+        self.attack_window_s = attack_window_s
+
+    def run(
+        self,
+        trace: SessionTrace,
+        load: SystemLoad = IDLE,
+        seed: int = 1234,
+        watch_model_key: Optional[str] = None,
+    ) -> ServiceReport:
+        """Run the service over a victim session from boot to end.
+
+        Args:
+            trace: the compiled victim session (launch happens at t=0's
+                initial render in :meth:`VictimDevice.compile`).
+            load: concurrent system load during the session.
+            seed: scheduling randomness.
+            watch_model_key: model used by the launch detector (defaults
+                to the first stored model; any target's model works since
+                detection keys on the generic launch-burst + field shape).
+        """
+        rng = np.random.default_rng(seed)
+
+        # --- idle watch: slow polls until the launch is confirmed -------
+        clock = DeviceClock()
+        kgsl = open_kgsl(
+            trace.timeline,
+            clock=clock,
+            context=ProcessContext(),
+            adreno_model=trace.config.gpu.model,
+        )
+        watcher = PerfCounterSampler(
+            kgsl, interval_s=self.idle_interval_s, rng=rng
+        )
+        watch_key = watch_model_key or self.store.keys()[0]
+        detector = LaunchDetector(self.store.get(watch_key))
+
+        launch: Optional[LaunchEvent] = None
+        samples = watcher.sample_range(0.0, trace.end_time_s, load=load)
+        for delta in nonzero_deltas(samples):
+            launch = detector.observe(delta)
+            if launch is not None:
+                break
+        if launch is None:
+            return ServiceReport(
+                launch_detected_at=None,
+                inferred_text="",
+                idle_reads=len(samples),
+            )
+        # watch reads actually spent before escalating
+        idle_reads = sum(1 for sample in samples if sample.t <= launch.t)
+
+        # --- attack: fast sampling from the detection point --------------
+        attack = EavesdropAttack(
+            self.store,
+            interval_s=self.attack_interval_s,
+            recognize_device=len(self.store) > 1,
+        )
+        # a fresh fd and clock: the attack samples the remaining window
+        attack_result = attack.run_on_trace(
+            _window(trace, launch.t, self.attack_window_s), load=load, seed=seed + 1
+        )
+        return ServiceReport(
+            launch_detected_at=launch.t,
+            inferred_text=attack_result.text,
+            key_times=attack_result.online.key_times(),
+            deletions_detected=attack_result.online.stats.deletions_detected,
+            model_key=attack_result.model_key,
+            idle_reads=idle_reads,
+            attack_reads=attack_result.samples_taken,
+        )
+
+
+def _window(trace: SessionTrace, start_s: float, duration_s: float) -> SessionTrace:
+    """A view of the session limited to the attack window.
+
+    The timeline is shared (counters are cumulative hardware state); only
+    the sampling end changes.
+    """
+    end = min(trace.end_time_s, start_s + duration_s)
+    return SessionTrace(
+        timeline=trace.timeline,
+        config=trace.config,
+        app=trace.app,
+        presses=trace.presses,
+        backspaces=trace.backspaces,
+        switch_intervals=trace.switch_intervals,
+        end_time_s=end,
+    )

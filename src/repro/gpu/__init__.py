@@ -1,0 +1,1 @@
+"""Qualcomm Adreno GPU model: tiled renderer and performance counters."""

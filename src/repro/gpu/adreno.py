@@ -1,0 +1,113 @@
+"""Qualcomm Adreno GPU hardware specifications.
+
+The paper evaluates Adreno 540, 640, 650 and 660 (Fig 24a).  What the
+side channel needs from the hardware model is:
+
+* the binning (supertile) geometry — Adreno splits the render target into
+  equally sized tiles "automatically determined by the GPU hardware"
+  (Section 2.1); tile geometry scales the tile-count counters, which is why
+  a classification model is trained per device model;
+* fill rate and per-frame overhead — these set how long a frame takes to
+  render, which is what causes *split* counter readings when the sampler
+  fires mid-render (Section 5.1);
+* a power draw figure for the battery-overhead experiment (Fig 26).
+
+Numbers are representative of the real parts (Snapdragon 835/855/865/888
+generations) but only their relative ordering matters for the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Fine-grained tile geometry fixed across the Adreno family: the LRZ pass
+#: works on 8x8 pixel blocks and the rasterizer on 8x4 pixel blocks.  These
+#: appear directly in the counter names of the paper's Table 1.
+LRZ_BLOCK: Tuple[int, int] = (8, 8)
+RAS_BLOCK: Tuple[int, int] = (8, 4)
+
+
+@dataclass(frozen=True)
+class AdrenoSpec:
+    """Static description of one Adreno GPU model."""
+
+    model: int
+    name: str
+    supertile: Tuple[int, int]
+    fill_rate_gpix_s: float
+    frame_overhead_us: float
+    clock_mhz: int
+    sample_power_mw: float
+
+    @property
+    def supertile_w(self) -> int:
+        return self.supertile[0]
+
+    @property
+    def supertile_h(self) -> int:
+        return self.supertile[1]
+
+    def render_time_s(self, pixels: int) -> float:
+        """Wall-clock time to render a frame touching ``pixels`` fragments."""
+        fill = self.fill_rate_gpix_s * 1e9
+        return self.frame_overhead_us * 1e-6 + pixels / fill
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+ADRENO_540 = AdrenoSpec(
+    model=540,
+    name="Adreno 540",
+    supertile=(32, 32),
+    fill_rate_gpix_s=7.5,
+    frame_overhead_us=780.0,
+    clock_mhz=710,
+    sample_power_mw=120.0,
+)
+
+ADRENO_640 = AdrenoSpec(
+    model=640,
+    name="Adreno 640",
+    supertile=(48, 32),
+    fill_rate_gpix_s=9.8,
+    frame_overhead_us=700.0,
+    clock_mhz=585,
+    sample_power_mw=85.0,
+)
+
+ADRENO_650 = AdrenoSpec(
+    model=650,
+    name="Adreno 650",
+    supertile=(64, 32),
+    fill_rate_gpix_s=12.0,
+    frame_overhead_us=640.0,
+    clock_mhz=587,
+    sample_power_mw=95.0,
+)
+
+ADRENO_660 = AdrenoSpec(
+    model=660,
+    name="Adreno 660",
+    supertile=(64, 64),
+    fill_rate_gpix_s=14.1,
+    frame_overhead_us=580.0,
+    clock_mhz=840,
+    sample_power_mw=90.0,
+)
+
+#: All GPU models evaluated in the paper, keyed by the marketing number.
+ADRENO_MODELS: Dict[int, AdrenoSpec] = {
+    spec.model: spec for spec in (ADRENO_540, ADRENO_640, ADRENO_650, ADRENO_660)
+}
+
+
+def adreno(model: int) -> AdrenoSpec:
+    """Look up an Adreno spec by model number (e.g. ``650``)."""
+    try:
+        return ADRENO_MODELS[model]
+    except KeyError:
+        raise KeyError(
+            f"unknown Adreno model {model}; known: {sorted(ADRENO_MODELS)}"
+        ) from None

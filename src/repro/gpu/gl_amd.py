@@ -1,0 +1,161 @@
+"""The ``GL_AMD_performance_monitor`` OpenGL ES extension (Section 3.3).
+
+The paper's first step is *identifying* the overdraw-related counters: it
+iterates the extension's groups and calls ``GetPerfMonitorCounterStringAMD``
+to obtain each counter's string identifier, selecting the LRZ/RAS/VPC
+entries of Table 1.
+
+Crucially, the extension is also the reason the attack needs the KGSL
+device file at all: a performance monitor created through it "can only be
+used by the attacking application to read the local PC value changes
+caused by this application itself" — it scopes counters to the calling
+GL context.  This module reproduces both behaviours: full enumeration,
+and monitors that only observe the activity the caller itself submits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpu import counters as pc
+
+#: Extension name string, as in the GL extensions list.
+EXTENSION_NAME = "GL_AMD_performance_monitor"
+
+
+@dataclass
+class _Monitor:
+    """One performance monitor object (glGenPerfMonitorsAMD)."""
+
+    selected: List[pc.CounterId] = field(default_factory=list)
+    active: bool = False
+    baseline: Dict[pc.CounterId, int] = field(default_factory=dict)
+    result: Dict[pc.CounterId, int] = field(default_factory=dict)
+    result_available: bool = False
+
+
+class GlAmdPerformanceMonitor:
+    """The extension's API surface over the simulated Adreno counters.
+
+    ``local_counters`` is the calling context's own counter bank — the
+    extension never exposes other applications' GPU activity, which is
+    exactly the limitation that pushes the attack to ``/dev/kgsl-3d0``.
+    """
+
+    def __init__(self, local_counters: Optional[pc.CounterBank] = None) -> None:
+        self.local = local_counters if local_counters is not None else pc.CounterBank()
+        self._monitors: Dict[int, _Monitor] = {}
+        self._next_id = 1
+
+    # -- enumeration (the paper's counter-identification step) ----------
+
+    def get_perf_monitor_groups(self) -> List[int]:
+        """``glGetPerfMonitorGroupsAMD``: available group ids."""
+        return sorted({int(spec.group) for spec in pc.SELECTED_COUNTERS})
+
+    def get_perf_monitor_counters(self, group: int) -> List[int]:
+        """``glGetPerfMonitorCountersAMD``: countables in one group."""
+        counters = [
+            spec.countable
+            for spec in pc.SELECTED_COUNTERS
+            if int(spec.group) == group
+        ]
+        if not counters:
+            raise ValueError(f"unknown group {group:#x}")
+        return sorted(counters)
+
+    def get_perf_monitor_group_string(self, group: int) -> str:
+        """``glGetPerfMonitorGroupStringAMD``."""
+        names = {0x5: "VPC", 0x7: "RAS", 0x19: "LRZ"}
+        try:
+            return names[group]
+        except KeyError:
+            raise ValueError(f"unknown group {group:#x}") from None
+
+    def get_perf_monitor_counter_string(self, group: int, countable: int) -> str:
+        """``glGetPerfMonitorCounterStringAMD``: the Table 1 identifiers."""
+        spec = pc.COUNTERS_BY_ID.get((pc.CounterGroup(group), countable))
+        if spec is None:
+            raise ValueError(f"unknown counter ({group:#x}, {countable})")
+        return spec.name
+
+    def enumerate_all(self) -> Dict[str, Tuple[int, int]]:
+        """The paper's discovery loop: every counter's string identifier
+        mapped to its (group, countable) pair."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for group in self.get_perf_monitor_groups():
+            for countable in self.get_perf_monitor_counters(group):
+                out[self.get_perf_monitor_counter_string(group, countable)] = (
+                    group,
+                    countable,
+                )
+        return out
+
+    # -- monitor lifecycle ----------------------------------------------
+
+    def gen_perf_monitors(self, count: int = 1) -> List[int]:
+        ids = []
+        for _ in range(count):
+            self._monitors[self._next_id] = _Monitor()
+            ids.append(self._next_id)
+            self._next_id += 1
+        return ids
+
+    def delete_perf_monitors(self, ids: List[int]) -> None:
+        for monitor_id in ids:
+            self._monitors.pop(monitor_id, None)
+
+    def select_perf_monitor_counters(
+        self, monitor_id: int, group: int, countables: List[int]
+    ) -> None:
+        monitor = self._monitor(monitor_id)
+        if monitor.active:
+            raise RuntimeError("cannot select counters on an active monitor")
+        for countable in countables:
+            counter_id = (pc.CounterGroup(group), countable)
+            if counter_id not in pc.COUNTERS_BY_ID:
+                raise ValueError(f"unknown counter ({group:#x}, {countable})")
+            if counter_id not in monitor.selected:
+                monitor.selected.append(counter_id)
+
+    def begin_perf_monitor(self, monitor_id: int) -> None:
+        monitor = self._monitor(monitor_id)
+        if monitor.active:
+            raise RuntimeError("monitor already active")
+        monitor.active = True
+        monitor.result_available = False
+        monitor.baseline = {
+            cid: self.local.read_id(cid) for cid in monitor.selected
+        }
+
+    def end_perf_monitor(self, monitor_id: int) -> None:
+        monitor = self._monitor(monitor_id)
+        if not monitor.active:
+            raise RuntimeError("monitor not active")
+        monitor.active = False
+        monitor.result = {
+            cid: self.local.read_id(cid) - monitor.baseline.get(cid, 0)
+            for cid in monitor.selected
+        }
+        monitor.result_available = True
+
+    def get_perf_monitor_counter_data(self, monitor_id: int) -> Dict[pc.CounterId, int]:
+        """``glGetPerfMonitorCounterDataAMD``: results after end."""
+        monitor = self._monitor(monitor_id)
+        if not monitor.result_available:
+            raise RuntimeError("no result available; call end_perf_monitor first")
+        return dict(monitor.result)
+
+    def _monitor(self, monitor_id: int) -> _Monitor:
+        try:
+            return self._monitors[monitor_id]
+        except KeyError:
+            raise ValueError(f"unknown monitor {monitor_id}") from None
+
+    # -- the context's own rendering --------------------------------------
+
+    def submit_local_work(self, increment: pc.CounterIncrement) -> None:
+        """Rendering performed by *this* GL context (and only this one);
+        the extension never sees anyone else's."""
+        self.local.apply(increment)

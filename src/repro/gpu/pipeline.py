@@ -1,0 +1,138 @@
+"""Adreno tile-based rendering pipeline model.
+
+This module turns a :class:`~repro.android.layers.Scene` into increments of
+the 11 performance counters of the paper's Table 1.  The model follows the
+stages of the real binning architecture (Section 2.1/2.2 of the paper):
+
+1. **Vertex / VPC stage.**  Every submitted primitive passes through the
+   vertex pipeline and the vertex cache regardless of occlusion, so
+   ``PERF_VPC_PC_PRIMITIVES`` and ``PERF_VPC_SP_COMPONENTS`` count all
+   scene geometry, and ``PERF_VPC_LRZ_ASSIGN_PRIMITIVES`` counts the
+   primitives handed to the LRZ unit (the occluder set — opaque geometry).
+
+2. **LRZ (Low Resolution Z) pass.**  Fragments of lower layers occluded by
+   opaque geometry above them are discarded early.  The LRZ counters count
+   what *survives*: visible primitives, visible pixels, and the 8x8 pixel
+   blocks the pass touches, full or partial.
+
+3. **Rasterization.**  The rasterizer walks supertiles (the binning tiles,
+   whose geometry is a property of the GPU model) and 8x4 fine blocks over
+   the visible fragments; the RAS counters count those tiles and the
+   cycles the walk takes.
+
+The counter arithmetic is integer and deterministic: for a fixed scene and
+GPU the same increments always result, reproducing the paper's observation
+that "for each key, repetitive presses always result in the same change of
+PC values" (Section 3.4).  All stochastic effects (split reads, sampling
+jitter, background noise) live elsewhere — in the sampler and the noise
+sources — never in the pipeline itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.android.geometry import Rect, covered_area
+from repro.android.layers import DrawOp, Scene
+from repro.gpu import counters as pc
+from repro.gpu.adreno import LRZ_BLOCK, RAS_BLOCK, AdrenoSpec
+
+#: Cost model for RAS_SUPERTILE_ACTIVE_CYCLES: cycles per fine block walked
+#: plus a fixed cost per supertile visited.
+_CYCLES_PER_RAS_BLOCK = 2
+_CYCLES_PER_SUPERTILE = 16
+
+
+@dataclass(frozen=True)
+class FrameStats:
+    """Result of rendering one frame."""
+
+    increment: pc.CounterIncrement
+    pixels_touched: int
+    render_time_s: float
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.increment
+
+
+def _visibility(op: DrawOp, occluders: List[Rect]) -> float:
+    """Fraction of the op's rectangle not hidden by opaque geometry above."""
+    if op.rect.is_empty:
+        return 0.0
+    overlaps = [op.rect.intersect(r) for r in occluders]
+    occluded = covered_area(overlaps)
+    visible = max(0, op.rect.area - occluded)
+    return visible / op.rect.area
+
+
+class AdrenoPipeline:
+    """Renders scenes on one GPU model, producing counter increments."""
+
+    def __init__(self, spec: AdrenoSpec) -> None:
+        self.spec = spec
+
+    def render(self, scene: Scene) -> FrameStats:
+        """Render a full scene and return the counter increments.
+
+        Android only submits a frame when something changed (the paper's
+        Fig 5: "PC values remain unchanged if the screen display does not
+        change"), so callers render exactly one frame per damage event.
+        """
+        inc = pc.CounterIncrement()
+        pixels_touched = 0
+
+        for _, op, occluders in scene.ops_with_occluders():
+            # --- VPC stage: everything submitted is counted. ---
+            inc.add(pc.VPC_PC_PRIMITIVES, op.primitives)
+            inc.add(pc.VPC_SP_COMPONENTS, op.vertex_components)
+            if op.opaque:
+                inc.add(pc.VPC_LRZ_ASSIGN_PRIMITIVES, op.primitives)
+
+            visibility = _visibility(op, occluders)
+
+            # --- LRZ pass: survivors only. ---
+            if visibility > 0.0:
+                inc.add(pc.LRZ_VISIBLE_PRIM_AFTER_LRZ, op.primitives)
+            visible_pixels = int(round(op.fragment_pixels * visibility))
+            inc.add(pc.LRZ_VISIBLE_PIXEL_AFTER_LRZ, visible_pixels)
+
+            lrz_cov = op.rect.tile_counts(*LRZ_BLOCK)
+            # Dense ops (solid quads) fully cover their interior blocks;
+            # sparse glyph ink only partially covers blocks it touches.
+            if op.coverage >= 0.95:
+                full8 = lrz_cov.full
+                part8 = lrz_cov.partial
+            else:
+                full8 = int(lrz_cov.full * op.coverage)
+                part8 = lrz_cov.partial + (lrz_cov.full - full8)
+            inc.add(pc.LRZ_FULL_8X8_TILES, int(round(full8 * visibility)))
+            inc.add(pc.LRZ_PARTIAL_8X8_TILES, int(round(part8 * visibility)))
+
+            # --- Rasterization over the visible fragments. ---
+            st_cov = op.rect.tile_counts(self.spec.supertile_w, self.spec.supertile_h)
+            super_tiles = max(1, int(round(st_cov.total * visibility))) if visibility else 0
+            inc.add(pc.RAS_SUPER_TILES, super_tiles)
+
+            ras_cov = op.rect.tile_counts(*RAS_BLOCK)
+            ras_blocks = int(round(ras_cov.total * visibility))
+            inc.add(pc.RAS_8X4_TILES, ras_blocks)
+            if op.coverage >= 0.95:
+                fully = int(round(ras_cov.full * visibility))
+            else:
+                fully = int(round(ras_cov.full * op.coverage * visibility))
+            inc.add(pc.RAS_FULLY_COVERED_8X4_TILES, fully)
+
+            inc.add(
+                pc.RAS_SUPERTILE_ACTIVE_CYCLES,
+                ras_blocks * _CYCLES_PER_RAS_BLOCK + super_tiles * _CYCLES_PER_SUPERTILE,
+            )
+
+            pixels_touched += visible_pixels
+
+        return FrameStats(
+            increment=inc,
+            pixels_touched=pixels_touched,
+            render_time_s=self.spec.render_time_s(pixels_touched),
+        )

@@ -1,0 +1,1 @@
+"""Simulated KGSL device-file interface (/dev/kgsl-3d0 + ioctl)."""

@@ -1,0 +1,239 @@
+"""Periodic GPU performance-counter sampling (paper Section 4).
+
+The attacking application's background service reads the selected counters
+"every 8 ms by default" — equal to or slightly below half the 60 Hz screen
+refresh interval so every rendered frame is covered by at least one read.
+This module implements that monitoring service against the simulated KGSL
+device file, including the scheduling realities the paper measures:
+
+* **CPU contention** (Fig 22a): under load, the service is preempted, so
+  reads land late or are skipped entirely, which both splits counter
+  deltas and merges consecutive changes;
+* **GPU contention** (Fig 22b) is modeled upstream — background rendering
+  adds frames and stretches render times — the sampler just observes it;
+* **power** (Fig 26): each ioctl read and each inference costs energy; the
+  analytic battery model lives here because it is a property of the
+  sampling duty cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpu import counters as pc
+from repro.kgsl.device_file import KgslDeviceFile
+from repro.kgsl.ioctl import (
+    IOCTL_KGSL_PERFCOUNTER_GET,
+    IOCTL_KGSL_PERFCOUNTER_READ,
+    KgslPerfcounterGet,
+    KgslPerfcounterRead,
+    KgslPerfcounterReadGroup,
+)
+
+#: Default sampling interval: 8 ms (Section 4 / Section 7.4).
+DEFAULT_INTERVAL_S = 0.008
+
+#: Baseline scheduling jitter of an idle Android system.
+_BASE_JITTER_S = 250e-6
+#: Probability that Android timer coalescing defers a wakeup noticeably.
+_COALESCE_PROB = 0.08
+#: Mean extra delay when a wakeup is coalesced.
+_COALESCE_DELAY_S = 5e-3
+#: Mean preemption delay when the service loses the CPU.
+_PREEMPT_DELAY_S = 2.2e-3
+
+
+@dataclass(frozen=True)
+class SystemLoad:
+    """Concurrent workload on the victim device (Section 7.3)."""
+
+    cpu_utilization: float = 0.0
+    gpu_utilization: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_utilization", "gpu_utilization"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+IDLE = SystemLoad()
+
+
+@dataclass(frozen=True)
+class PcSample:
+    """One read of all selected counters."""
+
+    nominal_t: float
+    t: float
+    values: Dict[pc.CounterId, int]
+
+
+@dataclass(frozen=True)
+class PcDelta:
+    """Per-counter change between two consecutive samples."""
+
+    t: float
+    prev_t: float
+    values: Dict[pc.CounterId, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.values.values())
+
+    def get(self, spec: pc.CounterSpec) -> int:
+        return self.values.get(spec.counter_id, 0)
+
+    def __bool__(self) -> bool:
+        return any(self.values.values())
+
+    def merge(self, other: "PcDelta") -> "PcDelta":
+        """Combine with an *earlier* delta (Algorithm 1's split recovery)."""
+        merged = dict(other.values)
+        for counter_id, value in self.values.items():
+            merged[counter_id] = merged.get(counter_id, 0) + value
+        return PcDelta(t=self.t, prev_t=other.prev_t, values=merged)
+
+    def scaled(self, factor: float) -> "PcDelta":
+        """Delta scaled by ``factor`` (duplication-halving heuristic)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return PcDelta(
+            t=self.t,
+            prev_t=self.prev_t,
+            values={cid: int(round(v * factor)) for cid, v in self.values.items()},
+        )
+
+
+class PerfCounterSampler:
+    """The attacking service's counter-reading loop."""
+
+    def __init__(
+        self,
+        device_file: KgslDeviceFile,
+        counters: Sequence[pc.CounterSpec] = tuple(pc.SELECTED_COUNTERS),
+        interval_s: float = DEFAULT_INTERVAL_S,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.device_file = device_file
+        self.counters = list(counters)
+        self.interval_s = interval_s
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.reads_issued = 0
+        self.reads_dropped = 0
+        self._reserve_counters()
+
+    def _reserve_counters(self) -> None:
+        """PERFCOUNTER_GET for every selected counter (paper Fig 10)."""
+        for spec in self.counters:
+            get = KgslPerfcounterGet(groupid=int(spec.group), countable=spec.countable)
+            self.device_file.ioctl(IOCTL_KGSL_PERFCOUNTER_GET, get)
+
+    # ------------------------------------------------------------------
+
+    def read_once(self) -> Dict[pc.CounterId, int]:
+        """Blockread all selected counters at the current device clock."""
+        read = KgslPerfcounterRead(
+            reads=[
+                KgslPerfcounterReadGroup(groupid=int(s.group), countable=s.countable)
+                for s in self.counters
+            ]
+        )
+        self.device_file.ioctl(IOCTL_KGSL_PERFCOUNTER_READ, read)
+        return {
+            (pc.CounterGroup(slot.groupid), slot.countable): slot.value
+            for slot in read.reads
+        }
+
+    def _scheduling_delay(self, load: SystemLoad) -> Optional[float]:
+        """Actual-minus-nominal read latency; None if the read is skipped.
+
+        With n busy threads per core the service's chance of running on
+        time falls; past ~50 % CPU utilization preemptions dominate and at
+        very high load entire reads are lost — the mechanism behind the
+        accuracy cliff of Fig 22a.
+        """
+        cpu = load.cpu_utilization
+        delay = float(self.rng.exponential(_BASE_JITTER_S))
+        if self.rng.random() < _COALESCE_PROB:
+            delay += float(self.rng.exponential(_COALESCE_DELAY_S))
+        if cpu > 0 and self.rng.random() < cpu * 0.75:
+            contention = cpu * cpu
+            delay += float(self.rng.exponential(_PREEMPT_DELAY_S * (0.2 + 2.0 * contention)))
+        drop_prob = max(0.0, cpu - 0.45) ** 2 * 0.55
+        if self.rng.random() < drop_prob:
+            return None
+        return delay
+
+    def sample_range(
+        self, t0: float, t1: float, load: SystemLoad = IDLE
+    ) -> List[PcSample]:
+        """Run the sampling loop over ``[t0, t1)``."""
+        samples: List[PcSample] = []
+        nominal = t0
+        last_t = -1.0
+        while nominal < t1:
+            delay = self._scheduling_delay(load)
+            if delay is None:
+                self.reads_dropped += 1
+            else:
+                # reads are issued by one thread, so they stay monotone even
+                # when a coalesced wakeup overshoots the next nominal tick
+                read_t = max(nominal + delay, last_t + 1e-5)
+                last_t = read_t
+                self.device_file.clock.set(max(self.device_file.clock.now, read_t))
+                values = self.read_once()
+                samples.append(PcSample(nominal_t=nominal, t=read_t, values=values))
+                self.reads_issued += 1
+            nominal += self.interval_s
+        return samples
+
+
+def deltas(samples: Sequence[PcSample]) -> List[PcDelta]:
+    """Consecutive-sample differences — the attack's raw event stream."""
+    out: List[PcDelta] = []
+    for prev, cur in zip(samples, samples[1:]):
+        diff = pc.delta(prev.values, cur.values)
+        out.append(PcDelta(t=cur.t, prev_t=prev.t, values=diff))
+    return out
+
+
+def nonzero_deltas(samples: Sequence[PcSample]) -> List[PcDelta]:
+    """Only the deltas where some counter moved (screen changed)."""
+    return [d for d in deltas(samples) if d]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Analytic battery-overhead model for the attack service (Fig 26).
+
+    Energy = per-ioctl cost x read rate + per-inference cost x typing rate,
+    plus keeping one little core awake a fraction of the time.  Reported
+    as percent of a typical smartphone battery per elapsed time.
+    """
+
+    battery_mwh: float = 17000.0  # ~4500 mAh at 3.85 V
+    ioctl_energy_uj: float = 22.0
+    inference_energy_uj: float = 60.0
+    wakeup_power_mw: float = 6.0
+
+    def extra_consumption_percent(
+        self,
+        elapsed_s: float,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        gpu_sample_power_mw: float = 8.5,
+        inferences_per_s: float = 0.5,
+    ) -> float:
+        reads = elapsed_s / interval_s
+        energy_mj = (
+            reads * self.ioctl_energy_uj / 1000.0
+            + elapsed_s * inferences_per_s * self.inference_energy_uj / 1000.0
+        )
+        energy_mwh = energy_mj / 3600.0
+        standby_mwh = (self.wakeup_power_mw + gpu_sample_power_mw) * elapsed_s / 3600.0
+        return 100.0 * (energy_mwh + standby_mwh) / self.battery_mwh

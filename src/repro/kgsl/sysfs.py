@@ -1,0 +1,43 @@
+"""The KGSL sysfs interface: ``/sys/class/kgsl/kgsl-3d0/``.
+
+The paper's footnote 10 notes that the current GPU utilization is
+retrieved through ``gpu_busy_percentage`` — a world-readable sysfs node
+on Qualcomm devices.  The Section 7.3 experiments use it to calibrate the
+emulated background workloads, and an attacker can use it to decide when
+the device is quiet enough to eavesdrop reliably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.timeline import RenderTimeline
+from repro.kgsl.device_file import DeviceClock
+
+#: Path of the utilization node on Adreno phones.
+GPU_BUSY_PATH = "/sys/class/kgsl/kgsl-3d0/gpu_busy_percentage"
+
+#: The kernel updates the busy statistics once per devfreq interval.
+UPDATE_INTERVAL_S = 0.050
+
+
+@dataclass
+class GpuBusyNode:
+    """World-readable GPU utilization, averaged over the last interval."""
+
+    timeline: RenderTimeline
+    clock: DeviceClock
+    window_s: float = UPDATE_INTERVAL_S
+
+    def read(self) -> int:
+        """The node's content: an integer percentage, like ``cat`` shows."""
+        now = self.clock.now
+        start = max(0.0, now - self.window_s)
+        if now <= start:
+            return 0
+        fraction = self.timeline.busy_fraction(start, now)
+        return int(round(100.0 * fraction))
+
+    def read_text(self) -> str:
+        """The raw file content (trailing newline, like sysfs)."""
+        return f"{self.read()}\n"

@@ -1,0 +1,1 @@
+"""Mitigations: popup disabling, RBAC access control, obfuscation."""

@@ -1,0 +1,97 @@
+"""GPU PC access control (paper Section 9.2).
+
+The paper argues the viable mitigation is role-based access control on the
+performance-counter interface, enforced where the attack happens: the
+KGSL device file's ioctl path.  This module provides that enforcement
+point as :class:`AccessPolicy` implementations plugged into
+:class:`~repro.kgsl.device_file.KgslDeviceFile`:
+
+* :class:`AllowAllPolicy` — today's Android behaviour (the vulnerability);
+* :class:`RbacPolicy` — SELinux-style role-based ioctl command filtering:
+  processes whose SELinux context is not on the allow list are denied
+  ``PERFCOUNTER_GET``/``READ`` with ``EACCES``, exactly what the paper's
+  proposed ``ioctl()`` command whitelisting would do;
+* :class:`LocalOnlyPolicy` — the finer-grained RBAC the paper prefers:
+  unprivileged apps may still read *their own* GPU activity (so profilers
+  and games keep working) but the global values are masked.
+"""
+
+from __future__ import annotations
+
+import errno
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.kgsl.device_file import ProcessContext
+from repro.kgsl.ioctl import IoctlError
+
+#: SELinux contexts normally allowed to touch global GPU counters.
+DEFAULT_PRIVILEGED_CONTEXTS: FrozenSet[str] = frozenset(
+    {"system_server", "platform_app", "shell", "su", "graphics_profiler"}
+)
+
+
+class AccessPolicy:
+    """Interface consulted by the KGSL device file on every counter ioctl."""
+
+    def check(self, context: ProcessContext, operation: str, groupid: int, countable: int) -> None:
+        """Raise :class:`IoctlError` to deny the request."""
+
+    def filter_value(
+        self, context: ProcessContext, groupid: int, countable: int, value: int, now: float
+    ) -> int:
+        """Transform a counter value before it is returned to user space."""
+        return value
+
+
+class AllowAllPolicy(AccessPolicy):
+    """The stock Android behaviour: any process may read global PCs."""
+
+
+@dataclass
+class RbacPolicy(AccessPolicy):
+    """SELinux-style ioctl command whitelisting.
+
+    Only processes whose SELinux context is in ``privileged_contexts`` may
+    reserve or read performance counters; everyone else gets ``EACCES``.
+    Denials are counted so an auditd-style log can be asserted on.
+    """
+
+    privileged_contexts: FrozenSet[str] = DEFAULT_PRIVILEGED_CONTEXTS
+    denials: int = 0
+
+    def check(self, context: ProcessContext, operation: str, groupid: int, countable: int) -> None:
+        if context.selinux_context in self.privileged_contexts:
+            return
+        self.denials += 1
+        raise IoctlError(
+            errno.EACCES,
+            f"SELinux: denied {{ ioctl }} for context={context.selinux_context} "
+            f"op=perfcounter_{operation} group={groupid:#x}",
+        )
+
+
+@dataclass
+class LocalOnlyPolicy(AccessPolicy):
+    """Finer-grained RBAC: unprivileged apps see only local counter values.
+
+    The paper's preferred design: "only listed applications are allowed to
+    access the global values of GPU PCs and all other applications can
+    only access their local values".  An unprivileged caller's reads
+    succeed, but return only the activity attributable to its own PID —
+    for the attacking service, which renders nothing, that is a flat
+    counter, destroying the side channel without breaking the API.
+    """
+
+    privileged_contexts: FrozenSet[str] = DEFAULT_PRIVILEGED_CONTEXTS
+    local_reads: int = 0
+
+    def filter_value(
+        self, context: ProcessContext, groupid: int, countable: int, value: int, now: float
+    ) -> int:
+        if context.selinux_context in self.privileged_contexts:
+            return value
+        self.local_reads += 1
+        # the caller's own rendering workload; the attack service draws
+        # nothing, so its local view of every counter stays at zero
+        return 0

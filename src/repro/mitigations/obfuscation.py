@@ -1,0 +1,136 @@
+"""Obfuscation mitigations (paper Section 9.3).
+
+Two flavours:
+
+* **Application-level**: decorative login-screen animation, as on the PNC
+  Mobile Bank app — already modeled by :data:`repro.android.apps.PNC`.
+  The animation frames constantly perturb the counter stream, and any
+  animation frame sharing a read window with a key press corrupts its
+  delta; the paper measures accuracy dropping to 30.2 %.
+
+* **OS-level**: the OS randomly executes small GPU workloads in the
+  background.  :class:`OsNoiseInjector` adds such frames to a victim
+  timeline with a configurable duty cycle; the open question the paper
+  raises — how much noise is enough, given that excessive workloads cost
+  performance and battery — is explored by the Section 9.3 bench's sweep.
+
+* **Value obfuscation at the driver**: :class:`CounterObfuscationPolicy`
+  perturbs returned counter values inside the KGSL read path, an
+  alternative the paper suggests ("applying obfuscations on the values of
+  GPU performance counters").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.android.display import Display
+from repro.android.geometry import Rect
+from repro.android.layers import DrawOp, Layer, Scene
+from repro.gpu.adreno import AdrenoSpec
+from repro.gpu.pipeline import AdrenoPipeline
+from repro.gpu.timeline import RenderTimeline, merge_timelines
+from repro.kgsl.device_file import ProcessContext
+from repro.mitigations.access_control import AccessPolicy
+
+
+class OsNoiseInjector:
+    """OS-injected random GPU workloads (Section 9.3's OS-level defence).
+
+    Frames of random geometry are rendered at random times with mean rate
+    ``rate_hz`` and sizes scaled by ``intensity`` (0..1: fraction of the
+    screen a noise frame may touch).
+    """
+
+    def __init__(
+        self,
+        gpu: AdrenoSpec,
+        display: Display,
+        rate_hz: float = 20.0,
+        intensity: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError("intensity must be in (0, 1]")
+        self.gpu = gpu
+        self.display = display
+        self.rate_hz = rate_hz
+        self.intensity = intensity
+        self.rng = rng if rng is not None else np.random.default_rng(11)
+        self.pipeline = AdrenoPipeline(gpu)
+
+    def _noise_scene(self) -> Scene:
+        screen = self.display.resolution
+        w = int(screen.width * self.rng.uniform(0.05, self.intensity))
+        h = int(screen.height * self.rng.uniform(0.05, self.intensity))
+        w, h = max(16, w), max(16, h)
+        left = int(self.rng.uniform(0, max(1, screen.width - w)))
+        top = int(self.rng.uniform(0, max(1, screen.height - h)))
+        layer = Layer("os_noise")
+        layer.add(
+            DrawOp(
+                rect=Rect.from_size(left, top, w, h),
+                coverage=float(self.rng.uniform(0.2, 1.0)),
+                primitives=int(self.rng.integers(2, 64)),
+                textured=True,
+                label="os_noise_quad",
+            )
+        )
+        return Scene([layer])
+
+    def timeline(self, t0: float, t1: float) -> RenderTimeline:
+        timeline = RenderTimeline()
+        t = t0 + float(self.rng.exponential(1.0 / self.rate_hz))
+        while t < t1:
+            timeline.add_render(t, self.pipeline.render(self._noise_scene()), label="os_noise")
+            t += float(self.rng.exponential(1.0 / self.rate_hz))
+        return timeline
+
+    def gpu_time_fraction(self, t0: float, t1: float) -> float:
+        """GPU time the injected noise consumes — the defence's cost."""
+        return self.timeline(t0, t1).busy_fraction(t0, t1)
+
+
+def with_os_noise(
+    victim_timeline: RenderTimeline,
+    injector: OsNoiseInjector,
+    t_end: float,
+) -> RenderTimeline:
+    """Victim timeline with OS noise frames merged in."""
+    return merge_timelines([victim_timeline, injector.timeline(0.0, t_end)])
+
+
+@dataclass
+class CounterObfuscationPolicy(AccessPolicy):
+    """Driver-level value obfuscation for unprivileged readers.
+
+    Adds a random non-negative offset drawn per read to every counter
+    value returned to an unprivileged context.  Offsets are monotone in
+    expectation (counters must never appear to run backwards), scaled by
+    ``strength`` relative to a typical key-press increment.
+    """
+
+    strength: float = 1.0
+    seed: int = 13
+    _rng: np.random.Generator = field(init=False, repr=False, default=None)  # type: ignore[assignment]
+    _accumulated: dict = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def filter_value(
+        self, context: ProcessContext, groupid: int, countable: int, value: int, now: float
+    ) -> int:
+        if context.selinux_context in ("system_server", "graphics_profiler"):
+            return value
+        key = (groupid, countable)
+        # accumulate a random walk so deltas are perturbed but values
+        # remain monotone
+        step = int(self._rng.exponential(2000.0 * self.strength))
+        self._accumulated[key] = self._accumulated.get(key, 0) + step
+        return value + self._accumulated[key]

@@ -1,0 +1,35 @@
+"""Disabling key-press popups (paper Section 9.1).
+
+The most intuitive mitigation: turn off "Popup on keypress" in the
+keyboard settings.  It prevents direct key inference, but the paper notes
+it "did not disable user applications' access to GPU PCs, [so] the
+attacker can still infer useful information ... such as the input length"
+via the Section 5.3 text-field signal.  The benches verify exactly that
+residual leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.android.keyboard import KeyboardSpec
+from repro.android.os_config import DeviceConfig
+
+
+def disable_popups(keyboard: KeyboardSpec) -> KeyboardSpec:
+    """The keyboard with popups (and their duplication frames) disabled.
+
+    The name changes too: a keyboard with popups off is a different
+    *configuration* (different preloaded model, different cache identity).
+    """
+    return replace(
+        keyboard,
+        name=f"{keyboard.name}-nopopup",
+        supports_popup=False,
+        duplicate_popup_prob=0.0,
+    )
+
+
+def config_with_popups_disabled(config: DeviceConfig) -> DeviceConfig:
+    """The same device configuration after the user flips the setting."""
+    return replace(config, keyboard=disable_popups(config.keyboard))

@@ -1,0 +1,1 @@
+"""Workload generation: typing models, credentials, behavior scripts."""

@@ -1,0 +1,141 @@
+"""Background CPU/GPU workload generators (paper Section 7.3).
+
+The paper emulates concurrent load with (a) a multi-threaded process
+occupying all CPU cores at a target percentage and (b) a custom OpenGL ES
+program rendering 3D objects in the background.  Here:
+
+* CPU load is a :class:`~repro.kgsl.sampler.SystemLoad` parameter the
+  sampler consumes (it delays/drops counter reads);
+* GPU load is an actual frame stream added to the render timeline —
+  the background renderer both pollutes the global counters and occupies
+  the GPU, stretching the victim app's render times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.android.display import Display
+from repro.android.geometry import Rect
+from repro.android.layers import DrawOp, Layer, Scene
+from repro.gpu.pipeline import AdrenoPipeline, FrameStats
+from repro.gpu.timeline import RenderTimeline, merge_timelines
+from repro.gpu.adreno import AdrenoSpec
+
+
+class BackgroundRenderer:
+    """An off-screen 3D workload rendering at a duty cycle.
+
+    ``gpu_utilization`` is the fraction of each vsync interval the
+    background render occupies, matching the paper's
+    ``gpu_busy_percentage`` knob (footnote 10).
+    """
+
+    def __init__(
+        self,
+        gpu: AdrenoSpec,
+        display: Display,
+        gpu_utilization: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= gpu_utilization <= 1.0:
+            raise ValueError("gpu_utilization must be in [0, 1]")
+        self.gpu = gpu
+        self.display = display
+        self.gpu_utilization = gpu_utilization
+        self.rng = rng if rng is not None else np.random.default_rng(1)
+        self.pipeline = AdrenoPipeline(gpu)
+
+    #: Pixels rasterized per background frame as seen by the *binning*
+    #: counters.  A background app renders to a small offscreen surface,
+    #: which Adreno draws in direct mode — bypassing the LRZ pass and most
+    #: of the binning-stage events the selected counters measure — and a
+    #: shader/ALU-bound workload occupies GPU *time* far beyond its
+    #: geometry footprint.  The duty cycle therefore sets the frame's
+    #: render time (contention), while its counter contamination stays at
+    #: cursor-blink scale.
+    FRAME_PIXELS = 4_000
+    #: Triangles per background frame visible to the VPC counters.
+    FRAME_PRIMITIVES = 12
+
+    def _frame_scene(self, phase: int) -> Scene:
+        """One frame of a looping 3D animation.
+
+        The same object rotates frame over frame, so per-frame counter
+        increments are nearly constant with a small periodic modulation —
+        exactly the stable signature a real looping benchmark produces.
+        """
+        screen = self.display.resolution
+        modulation = 1.0 + 0.03 * np.sin(2.0 * np.pi * (phase % 90) / 90.0)
+        pixels = int(self.FRAME_PIXELS * modulation)
+        width = int(min(screen.width * 0.6, max(64, pixels**0.5)))
+        height = max(64, pixels // width)
+        layer = Layer("bg_3d")
+        layer.add(
+            DrawOp(
+                rect=Rect.from_size(
+                    screen.width // 8, screen.height // 3, width, height
+                ),
+                coverage=0.92,
+                primitives=self.FRAME_PRIMITIVES + (phase % 7),
+                textured=True,
+                label=f"bg_mesh_{phase % 90}",
+            )
+        )
+        return Scene([layer])
+
+    def timeline(self, t0: float, t1: float) -> RenderTimeline:
+        """Background frames at every vsync over ``[t0, t1)``.
+
+        Each frame's render *time* equals the duty cycle's share of the
+        frame interval (the workload is shader-bound), which is what makes
+        the victim's frames queue behind it and stretch.
+        """
+        timeline = RenderTimeline()
+        if self.gpu_utilization <= 0.0:
+            return timeline
+        interval = self.display.frame_interval_s
+        t = self.display.next_vsync(t0)
+        phase = 0
+        busy_s = interval * self.gpu_utilization
+        while t < t1:
+            stats = self.pipeline.render(self._frame_scene(phase))
+            stats = FrameStats(
+                increment=stats.increment,
+                pixels_touched=stats.pixels_touched,
+                render_time_s=max(stats.render_time_s, busy_s),
+            )
+            timeline.add_render(t, stats, label="background_3d")
+            t += interval
+            phase += 1
+        return timeline
+
+
+def render_slowdown(gpu_utilization: float) -> float:
+    """How much background GPU occupancy stretches victim frame renders.
+
+    A simple M/D/1-style queueing dilation: at 75 % background occupancy
+    the victim's frames take ~3x longer to complete, widening the window
+    in which counter reads split.
+    """
+    if not 0.0 <= gpu_utilization <= 1.0:
+        raise ValueError("gpu_utilization must be in [0, 1]")
+    capped = min(gpu_utilization, 0.92)
+    return 1.0 / (1.0 - capped * 0.78)
+
+
+def with_background_load(
+    victim_timeline: RenderTimeline,
+    gpu: AdrenoSpec,
+    display: Display,
+    gpu_utilization: float,
+    t_end: float,
+    rng: Optional[np.random.Generator] = None,
+) -> RenderTimeline:
+    """Victim timeline merged with a background GPU workload."""
+    if gpu_utilization <= 0.0:
+        return victim_timeline
+    renderer = BackgroundRenderer(gpu, display, gpu_utilization, rng=rng)
+    return merge_timelines([victim_timeline, renderer.timeline(0.0, t_end)])

@@ -1,0 +1,35 @@
+"""Shared fixtures: trained models are expensive enough to share per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.android.apps import CHASE
+from repro.android.os_config import default_config
+from repro.core.model_store import ModelStore
+from repro.core.pipeline import train_model
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The paper's workhorse configuration (Oneplus 8 Pro, Gboard)."""
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def chase_model(config):
+    """Offline-trained model for (Oneplus 8 Pro, Chase)."""
+    return train_model(config, CHASE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def chase_store(chase_model):
+    store = ModelStore()
+    store.add(chase_model)
+    return store
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,69 @@
+"""Tests for background workload generation (Section 7.3)."""
+
+import numpy as np
+import pytest
+
+from repro.android.display import Display
+from repro.gpu.adreno import adreno
+from repro.gpu.timeline import RenderTimeline
+from repro.workloads.background import (
+    BackgroundRenderer,
+    render_slowdown,
+    with_background_load,
+)
+
+
+class TestBackgroundRenderer:
+    def test_zero_utilization_renders_nothing(self):
+        renderer = BackgroundRenderer(adreno(650), Display(), 0.0)
+        assert renderer.timeline(0.0, 1.0).frames == []
+
+    def test_frames_at_every_vsync(self):
+        renderer = BackgroundRenderer(adreno(650), Display(), 0.5, rng=np.random.default_rng(0))
+        timeline = renderer.timeline(0.0, 1.0)
+        assert len(timeline.frames) == 60
+
+    def test_busy_fraction_tracks_utilization(self):
+        display = Display()
+        low = BackgroundRenderer(adreno(650), display, 0.2, rng=np.random.default_rng(0))
+        high = BackgroundRenderer(adreno(650), display, 0.75, rng=np.random.default_rng(0))
+        low_busy = low.timeline(0.0, 2.0).busy_fraction(0.0, 2.0)
+        high_busy = high.timeline(0.0, 2.0).busy_fraction(0.0, 2.0)
+        assert high_busy > low_busy
+        assert 0.05 < low_busy < 0.6
+        assert high_busy > 0.4
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            BackgroundRenderer(adreno(650), Display(), 1.5)
+
+
+class TestRenderSlowdown:
+    def test_identity_at_zero(self):
+        assert render_slowdown(0.0) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        values = [render_slowdown(u) for u in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values)
+
+    def test_75_percent_is_severe(self):
+        assert render_slowdown(0.75) > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_slowdown(-0.1)
+        with pytest.raises(ValueError):
+            render_slowdown(1.1)
+
+
+class TestMerging:
+    def test_with_background_load_adds_frames(self):
+        victim = RenderTimeline()
+        merged = with_background_load(
+            victim, adreno(650), Display(), 0.5, t_end=1.0, rng=np.random.default_rng(0)
+        )
+        assert len(merged.frames) == 60
+
+    def test_zero_load_returns_victim_unchanged(self):
+        victim = RenderTimeline()
+        assert with_background_load(victim, adreno(650), Display(), 0.0, 1.0) is victim

@@ -1,0 +1,83 @@
+"""Tests for credential generation."""
+
+import numpy as np
+import pytest
+
+from repro.android.glyphs import KEYBOARD_CHARACTERS
+from repro.workloads.credentials import (
+    MAX_CREDENTIAL_LEN,
+    MIN_CREDENTIAL_LEN,
+    PASSWORD_POOL,
+    USERNAME_POOL,
+    balanced_character_stream,
+    character_group,
+    credential_batch,
+    random_credential,
+    random_text,
+)
+
+
+class TestGeneration:
+    def test_length_range_matches_paper(self):
+        assert MIN_CREDENTIAL_LEN == 8
+        assert MAX_CREDENTIAL_LEN == 16
+
+    def test_random_text_length_and_pool(self, rng):
+        text = random_text(rng, 20, pool="ab")
+        assert len(text) == 20
+        assert set(text) <= {"a", "b"}
+
+    def test_random_text_rejects_nonpositive_length(self, rng):
+        with pytest.raises(ValueError):
+            random_text(rng, 0)
+
+    def test_random_credential_default_lengths(self, rng):
+        lengths = {len(random_credential(rng)) for _ in range(200)}
+        assert lengths <= set(range(8, 17))
+        assert len(lengths) > 3
+
+    def test_random_credential_fixed_length(self, rng):
+        assert len(random_credential(rng, length=12)) == 12
+
+    def test_out_of_range_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_credential(rng, length=5)
+        with pytest.raises(ValueError):
+            random_credential(rng, length=20)
+
+    def test_batch(self, rng):
+        batch = credential_batch(rng, 10, length=9)
+        assert len(batch) == 10
+        assert all(len(t) == 9 for t in batch)
+
+    def test_password_pool_is_fig18_set(self):
+        assert PASSWORD_POOL == KEYBOARD_CHARACTERS
+
+    def test_username_pool_is_lowercase_digits(self):
+        assert set(USERNAME_POOL) <= set("abcdefghijklmnopqrstuvwxyz1234567890.")
+
+    def test_deterministic_given_seed(self):
+        a = random_credential(np.random.default_rng(5))
+        b = random_credential(np.random.default_rng(5))
+        assert a == b
+
+
+class TestCharacterGroups:
+    def test_groups(self):
+        assert character_group("a") == "lower"
+        assert character_group("Z") == "upper"
+        assert character_group("7") == "number"
+        assert character_group(",") == "symbol"
+        assert character_group("@") == "symbol"
+
+
+class TestBalancedStream:
+    def test_every_character_appears_exactly_n_times(self, rng):
+        stream = balanced_character_stream(rng, repeats=3)
+        assert len(stream) == 3 * len(KEYBOARD_CHARACTERS)
+        for char in KEYBOARD_CHARACTERS:
+            assert stream.count(char) == 3
+
+    def test_stream_is_shuffled(self, rng):
+        stream = balanced_character_stream(rng, repeats=2)
+        assert "".join(stream) != KEYBOARD_CHARACTERS * 2

@@ -1,0 +1,65 @@
+"""Tests for the display/vsync model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.android.display import Display, Resolution
+
+
+class TestResolution:
+    def test_fhd_plus_dimensions(self):
+        assert Resolution.FHD_PLUS.width == 1080
+        assert Resolution.FHD_PLUS.height == 2376
+
+    def test_qhd_plus_dimensions(self):
+        assert Resolution.QHD_PLUS.width == 1440
+        assert Resolution.QHD_PLUS.height == 3168
+
+    def test_pixel_counts(self):
+        assert Resolution.FHD_PLUS.pixel_count == 1080 * 2376
+
+    def test_labels_match_paper_fig24b(self):
+        assert Resolution.FHD_PLUS.label == "FHD+ (2376x1080)"
+        assert Resolution.QHD_PLUS.label == "QHD+ (3168x1440)"
+
+
+class TestDisplay:
+    def test_default_is_60hz_fhd(self):
+        d = Display()
+        assert d.refresh_rate_hz == 60
+        assert d.resolution is Resolution.FHD_PLUS
+
+    def test_frame_interval(self):
+        assert Display(refresh_rate_hz=60).frame_interval_s == pytest.approx(1 / 60)
+        assert Display(refresh_rate_hz=120).frame_interval_s == pytest.approx(1 / 120)
+
+    def test_invalid_refresh_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Display(refresh_rate_hz=0)
+
+    def test_bounds(self):
+        b = Display().bounds
+        assert (b.width, b.height) == (1080, 2376)
+
+    def test_next_vsync_on_boundary_is_identity(self):
+        d = Display(refresh_rate_hz=60)
+        assert d.next_vsync(0.0) == pytest.approx(0.0)
+        assert d.next_vsync(1.0) == pytest.approx(1.0)
+
+    def test_next_vsync_rounds_up(self):
+        d = Display(refresh_rate_hz=60)
+        assert d.next_vsync(0.001) == pytest.approx(1 / 60)
+        assert d.next_vsync(1 / 60 + 1e-4) == pytest.approx(2 / 60)
+
+    @given(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def test_next_vsync_never_before_t(self, t):
+        d = Display(refresh_rate_hz=120)
+        v = d.next_vsync(t)
+        assert v >= t - 1e-9
+        assert v - t < d.frame_interval_s + 1e-9
+
+    def test_scale(self):
+        r = Display().scale(0.5, 0.25)
+        assert r.width == 540
+        assert r.height == 594

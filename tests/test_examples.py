@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "secretpw1")
+        assert proc.returncode == 0, proc.stderr
+        assert "inferred credential" in proc.stdout
+        assert "EXACT MATCH" in proc.stdout or "partial" in proc.stdout
+
+    def test_credential_theft_demo(self):
+        proc = run_example("credential_theft_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "device recognition" in proc.stdout
+        assert "credentials stolen" in proc.stdout
+
+    def test_mitigation_evaluation(self):
+        proc = run_example("mitigation_evaluation.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "RBAC whitelist" in proc.stdout
+        assert "blocked at ioctl" in proc.stdout
+        assert "popups disabled" in proc.stdout
+
+    def test_trace_inspection(self):
+        proc = run_example("trace_inspection.py", "wn")
+        assert proc.returncode == 0, proc.stderr
+        assert "press:w" in proc.stdout
+        assert "summary:" in proc.stdout
+
+    def test_keyboard_survey(self):
+        proc = run_example("keyboard_survey.py", "gboard")
+        assert proc.returncode == 0, proc.stderr
+        assert "Google Keyboard" in proc.stdout
+        assert "weakest keys" in proc.stdout

@@ -1,0 +1,108 @@
+"""Tests for the GL_AMD_performance_monitor extension shim (Section 3.3)."""
+
+import pytest
+
+from repro.gpu import counters as pc
+from repro.gpu.gl_amd import EXTENSION_NAME, GlAmdPerformanceMonitor
+
+
+@pytest.fixture()
+def gl():
+    return GlAmdPerformanceMonitor()
+
+
+def increment(spec, amount):
+    inc = pc.CounterIncrement()
+    inc.add(spec, amount)
+    return inc
+
+
+class TestEnumeration:
+    def test_groups_are_the_table1_groups(self, gl):
+        assert gl.get_perf_monitor_groups() == [0x5, 0x7, 0x19]
+
+    def test_group_strings(self, gl):
+        assert gl.get_perf_monitor_group_string(0x19) == "LRZ"
+        assert gl.get_perf_monitor_group_string(0x7) == "RAS"
+        assert gl.get_perf_monitor_group_string(0x5) == "VPC"
+        with pytest.raises(ValueError):
+            gl.get_perf_monitor_group_string(0x42)
+
+    def test_counter_strings_match_table1(self, gl):
+        assert (
+            gl.get_perf_monitor_counter_string(0x19, 13)
+            == "PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ"
+        )
+        assert gl.get_perf_monitor_counter_string(0x7, 5) == "PERF_RAS_8X4_TILES"
+
+    def test_discovery_loop_finds_all_eleven(self, gl):
+        """The paper's counter-identification procedure."""
+        found = gl.enumerate_all()
+        assert len(found) == 11
+        assert found["PERF_LRZ_FULL_8X8_TILES"] == (0x19, 14)
+        assert all(name.startswith("PERF_") for name in found)
+
+    def test_unknown_counter_rejected(self, gl):
+        with pytest.raises(ValueError):
+            gl.get_perf_monitor_counter_string(0x19, 99)
+        with pytest.raises(ValueError):
+            gl.get_perf_monitor_counters(0x42)
+
+    def test_extension_name(self):
+        assert EXTENSION_NAME == "GL_AMD_performance_monitor"
+
+
+class TestMonitorLifecycle:
+    def test_begin_end_reads_own_work(self, gl):
+        (mid,) = gl.gen_perf_monitors()
+        gl.select_perf_monitor_counters(mid, 0x7, [5])
+        gl.begin_perf_monitor(mid)
+        gl.submit_local_work(increment(pc.RAS_8X4_TILES, 321))
+        gl.end_perf_monitor(mid)
+        data = gl.get_perf_monitor_counter_data(mid)
+        assert data[(pc.CounterGroup.RAS, 5)] == 321
+
+    def test_result_unavailable_before_end(self, gl):
+        (mid,) = gl.gen_perf_monitors()
+        gl.select_perf_monitor_counters(mid, 0x7, [5])
+        gl.begin_perf_monitor(mid)
+        with pytest.raises(RuntimeError):
+            gl.get_perf_monitor_counter_data(mid)
+
+    def test_double_begin_rejected(self, gl):
+        (mid,) = gl.gen_perf_monitors()
+        gl.begin_perf_monitor(mid)
+        with pytest.raises(RuntimeError):
+            gl.begin_perf_monitor(mid)
+
+    def test_select_while_active_rejected(self, gl):
+        (mid,) = gl.gen_perf_monitors()
+        gl.begin_perf_monitor(mid)
+        with pytest.raises(RuntimeError):
+            gl.select_perf_monitor_counters(mid, 0x7, [5])
+
+    def test_delete(self, gl):
+        (mid,) = gl.gen_perf_monitors()
+        gl.delete_perf_monitors([mid])
+        with pytest.raises(ValueError):
+            gl.begin_perf_monitor(mid)
+
+    def test_gen_many(self, gl):
+        ids = gl.gen_perf_monitors(3)
+        assert len(set(ids)) == 3
+
+
+class TestLocalOnlySemantics:
+    def test_extension_is_blind_to_other_apps(self, gl):
+        """The limitation that motivates the KGSL device-file bypass:
+        monitors only observe the calling context's own rendering."""
+        (mid,) = gl.gen_perf_monitors()
+        gl.select_perf_monitor_counters(mid, 0x19, [14])
+        gl.begin_perf_monitor(mid)
+        # a *victim* app renders a key press popup elsewhere: its counters
+        # live in the global bank, not in this GL context's local bank, so
+        # the extension never sees it.  (Only submit_local_work feeds the
+        # local bank.)
+        gl.end_perf_monitor(mid)
+        data = gl.get_perf_monitor_counter_data(mid)
+        assert data[(pc.CounterGroup.LRZ, 14)] == 0

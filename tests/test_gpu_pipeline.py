@@ -1,0 +1,212 @@
+"""Tests for the Adreno pipeline model and counter registry."""
+
+import pytest
+
+from repro.android.geometry import Rect
+from repro.android.layers import DrawOp, Layer, Scene, solid_quad
+from repro.gpu import counters as pc
+from repro.gpu.adreno import ADRENO_MODELS, LRZ_BLOCK, RAS_BLOCK, adreno
+from repro.gpu.pipeline import AdrenoPipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return AdrenoPipeline(adreno(650))
+
+
+def scene_with(*layers):
+    return Scene(list(layers))
+
+
+class TestCounterRegistry:
+    def test_table1_has_eleven_counters(self):
+        assert len(pc.SELECTED_COUNTERS) == 11
+
+    def test_table1_ids_exact(self):
+        """Group/countable pairs exactly as printed in the paper's Table 1."""
+        expected = {
+            ("PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ", pc.CounterGroup.LRZ, 13),
+            ("PERF_LRZ_FULL_8X8_TILES", pc.CounterGroup.LRZ, 14),
+            ("PERF_LRZ_PARTIAL_8X8_TILES", pc.CounterGroup.LRZ, 15),
+            ("PERF_LRZ_VISIBLE_PIXEL_AFTER_LRZ", pc.CounterGroup.LRZ, 18),
+            ("PERF_RAS_SUPERTILE_ACTIVE_CYCLES", pc.CounterGroup.RAS, 1),
+            ("PERF_RAS_SUPER_TILES", pc.CounterGroup.RAS, 4),
+            ("PERF_RAS_8X4_TILES", pc.CounterGroup.RAS, 5),
+            ("PERF_RAS_FULLY_COVERED_8X4_TILES", pc.CounterGroup.RAS, 8),
+            ("PERF_VPC_PC_PRIMITIVES", pc.CounterGroup.VPC, 9),
+            ("PERF_VPC_SP_COMPONENTS", pc.CounterGroup.VPC, 10),
+            ("PERF_VPC_LRZ_ASSIGN_PRIMITIVES", pc.CounterGroup.VPC, 12),
+        }
+        actual = {(s.name, s.group, s.countable) for s in pc.SELECTED_COUNTERS}
+        assert actual == expected
+
+    def test_group_ids_match_msm_kgsl_header(self):
+        assert pc.CounterGroup.VPC == 0x5
+        assert pc.CounterGroup.RAS == 0x7
+        assert pc.CounterGroup.LRZ == 0x19
+
+    def test_counter_by_name(self):
+        spec = pc.counter_by_name("PERF_LRZ_FULL_8X8_TILES")
+        assert spec.countable == 14
+        with pytest.raises(KeyError):
+            pc.counter_by_name("PERF_NOPE")
+
+
+class TestCounterIncrement:
+    def test_add_and_get(self):
+        inc = pc.CounterIncrement()
+        inc.add(pc.RAS_SUPER_TILES, 5)
+        inc.add(pc.RAS_SUPER_TILES, 3)
+        assert inc.get(pc.RAS_SUPER_TILES) == 8
+
+    def test_negative_rejected(self):
+        inc = pc.CounterIncrement()
+        with pytest.raises(ValueError):
+            inc.add(pc.RAS_SUPER_TILES, -1)
+
+    def test_zero_add_is_noop(self):
+        inc = pc.CounterIncrement()
+        inc.add(pc.RAS_SUPER_TILES, 0)
+        assert not inc
+
+    def test_merge(self):
+        a = pc.CounterIncrement()
+        a.add(pc.RAS_SUPER_TILES, 2)
+        b = pc.CounterIncrement()
+        b.add(pc.RAS_SUPER_TILES, 3)
+        b.add(pc.VPC_PC_PRIMITIVES, 7)
+        merged = a.merge(b)
+        assert merged.get(pc.RAS_SUPER_TILES) == 5
+        assert merged.get(pc.VPC_PC_PRIMITIVES) == 7
+        # originals untouched
+        assert a.get(pc.RAS_SUPER_TILES) == 2
+
+    def test_scaled(self):
+        inc = pc.CounterIncrement()
+        inc.add(pc.RAS_8X4_TILES, 100)
+        assert inc.scaled(0.5).get(pc.RAS_8X4_TILES) == 50
+
+
+class TestCounterBank:
+    def test_apply_and_read(self):
+        bank = pc.CounterBank()
+        inc = pc.CounterIncrement()
+        inc.add(pc.LRZ_FULL_8X8_TILES, 10)
+        bank.apply(inc)
+        bank.apply(inc)
+        assert bank.read(pc.LRZ_FULL_8X8_TILES) == 20
+
+    def test_wraparound_delta(self):
+        before = {pc.LRZ_FULL_8X8_TILES.counter_id: pc.CounterBank.WRAP - 5}
+        after = {pc.LRZ_FULL_8X8_TILES.counter_id: 10}
+        assert pc.delta(before, after)[pc.LRZ_FULL_8X8_TILES.counter_id] == 15
+
+    def test_snapshot_load_roundtrip(self):
+        bank = pc.CounterBank()
+        inc = pc.CounterIncrement()
+        inc.add(pc.RAS_SUPER_TILES, 42)
+        bank.apply(inc)
+        other = pc.CounterBank()
+        other.load(bank.snapshot())
+        assert other.read(pc.RAS_SUPER_TILES) == 42
+
+
+class TestPipeline:
+    def test_deterministic(self, pipeline):
+        scene = scene_with(Layer("l").add(solid_quad(Rect(0, 0, 100, 100))))
+        a = pipeline.render(scene)
+        b = pipeline.render(scene)
+        assert a.increment.values == b.increment.values
+
+    def test_vpc_counts_all_submitted_primitives(self, pipeline):
+        layer = Layer("l")
+        layer.add(DrawOp(rect=Rect(0, 0, 50, 50), primitives=6))
+        layer.add(DrawOp(rect=Rect(0, 0, 50, 50), primitives=4))
+        stats = pipeline.render(scene_with(layer))
+        assert stats.increment.get(pc.VPC_PC_PRIMITIVES) == 10
+
+    def test_lrz_assign_counts_only_opaque(self, pipeline):
+        layer = Layer("l")
+        layer.add(DrawOp(rect=Rect(0, 0, 50, 50), primitives=6, opaque=True))
+        layer.add(DrawOp(rect=Rect(0, 0, 50, 50), primitives=4, opaque=False))
+        stats = pipeline.render(scene_with(layer))
+        assert stats.increment.get(pc.VPC_LRZ_ASSIGN_PRIMITIVES) == 6
+
+    def test_occluded_layer_loses_visible_pixels(self, pipeline):
+        bottom = Layer("bottom").add(solid_quad(Rect(0, 0, 100, 100)))
+        top = Layer("top").add(solid_quad(Rect(0, 0, 100, 100)))
+        occluded = pipeline.render(scene_with(bottom, top))
+        alone = pipeline.render(scene_with(Layer("only").add(solid_quad(Rect(0, 0, 100, 100)))))
+        # fully occluded bottom contributes nothing visible
+        assert occluded.increment.get(pc.LRZ_VISIBLE_PIXEL_AFTER_LRZ) == alone.increment.get(
+            pc.LRZ_VISIBLE_PIXEL_AFTER_LRZ
+        )
+        # but its primitives still went through the vertex stage
+        assert occluded.increment.get(pc.VPC_PC_PRIMITIVES) == 2 * alone.increment.get(
+            pc.VPC_PC_PRIMITIVES
+        )
+
+    def test_partial_occlusion_scales_visibility(self, pipeline):
+        bottom = Layer("bottom").add(solid_quad(Rect(0, 0, 100, 100)))
+        top = Layer("top").add(solid_quad(Rect(0, 0, 100, 50)))
+        stats = pipeline.render(scene_with(bottom, top))
+        # bottom: 5000 visible pixels; top: 5000 pixels
+        assert stats.increment.get(pc.LRZ_VISIBLE_PIXEL_AFTER_LRZ) == 10000
+
+    def test_translucent_op_does_not_occlude(self, pipeline):
+        bottom = Layer("bottom").add(solid_quad(Rect(0, 0, 100, 100)))
+        top = Layer("top").add(
+            DrawOp(rect=Rect(0, 0, 100, 100), coverage=0.5, opaque=False)
+        )
+        stats = pipeline.render(scene_with(bottom, top))
+        assert stats.increment.get(pc.LRZ_VISIBLE_PIXEL_AFTER_LRZ) == 10000 + 5000
+
+    def test_sparse_glyph_coverage_reduces_full_tiles(self, pipeline):
+        solid = scene_with(Layer("l").add(DrawOp(rect=Rect(0, 0, 64, 64), coverage=1.0)))
+        sparse = scene_with(Layer("l").add(DrawOp(rect=Rect(0, 0, 64, 64), coverage=0.3)))
+        s_full = pipeline.render(solid).increment.get(pc.LRZ_FULL_8X8_TILES)
+        g_full = pipeline.render(sparse).increment.get(pc.LRZ_FULL_8X8_TILES)
+        assert g_full < s_full
+
+    def test_render_time_grows_with_pixels(self, pipeline):
+        small = scene_with(Layer("l").add(solid_quad(Rect(0, 0, 50, 50))))
+        large = scene_with(Layer("l").add(solid_quad(Rect(0, 0, 1000, 1000))))
+        assert pipeline.render(large).render_time_s > pipeline.render(small).render_time_s
+
+    def test_empty_scene_renders_empty(self, pipeline):
+        stats = pipeline.render(Scene())
+        assert stats.is_empty
+        assert stats.pixels_touched == 0
+
+    def test_supertile_counts_depend_on_gpu_model(self):
+        scene = scene_with(Layer("l").add(solid_quad(Rect(0, 0, 512, 512))))
+        st540 = AdrenoPipeline(adreno(540)).render(scene).increment.get(pc.RAS_SUPER_TILES)
+        st660 = AdrenoPipeline(adreno(660)).render(scene).increment.get(pc.RAS_SUPER_TILES)
+        # larger bins -> fewer supertiles
+        assert st660 < st540
+
+    def test_ras_cycles_positive_when_visible(self, pipeline):
+        scene = scene_with(Layer("l").add(solid_quad(Rect(0, 0, 64, 64))))
+        assert pipeline.render(scene).increment.get(pc.RAS_SUPERTILE_ACTIVE_CYCLES) > 0
+
+
+class TestAdrenoSpecs:
+    def test_four_models(self):
+        assert sorted(ADRENO_MODELS) == [540, 640, 650, 660]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            adreno(730)
+
+    def test_blocks_are_as_named_in_table1(self):
+        assert LRZ_BLOCK == (8, 8)
+        assert RAS_BLOCK == (8, 4)
+
+    def test_newer_models_are_faster(self):
+        assert adreno(660).fill_rate_gpix_s > adreno(540).fill_rate_gpix_s
+        assert adreno(660).frame_overhead_us < adreno(540).frame_overhead_us
+
+    def test_render_time_model(self):
+        spec = adreno(650)
+        assert spec.render_time_s(0) == pytest.approx(spec.frame_overhead_us * 1e-6)
+        assert spec.render_time_s(10**7) > spec.render_time_s(10**5)

@@ -1,0 +1,156 @@
+"""End-to-end integration tests: offline phase -> victim session -> attack."""
+
+import numpy as np
+import pytest
+
+from repro.android.apps import CHASE
+from repro.android.device import VictimDevice
+from repro.android.os_config import default_config
+from repro.core.pipeline import EavesdropAttack, simulate_credential_entry
+from repro.kgsl.sampler import SystemLoad
+from repro.mitigations.access_control import LocalOnlyPolicy, RbacPolicy
+from repro.workloads.behavior import practical_session, typing_with_corrections
+from repro.workloads.typing_model import TypingModel
+
+
+@pytest.fixture(scope="module")
+def attack(chase_store):
+    return EavesdropAttack(chase_store, recognize_device=False)
+
+
+class TestCleanCredentialTheft:
+    def test_exact_inference_of_typical_credential(self, config, attack):
+        exact = 0
+        for seed in (20, 22, 23, 24):
+            trace = simulate_credential_entry(config, CHASE, "hunter2sec", seed=seed)
+            result = attack.run_on_trace(trace, seed=900)
+            exact += result.text == "hunter2sec"
+        assert exact >= 3, "typical credentials must usually be stolen verbatim"
+
+    def test_mixed_case_symbols_digits(self, config, attack):
+        text = "Tr0ub4dor&3x"
+        trace = simulate_credential_entry(config, CHASE, text, seed=22)
+        result = attack.run_on_trace(trace, seed=901)
+        assert result.text == text
+
+    def test_sixteen_character_credential(self, config, attack):
+        text = "abcdefgh12345678"
+        trace = simulate_credential_entry(config, CHASE, text, seed=23)
+        result = attack.run_on_trace(trace, seed=902)
+        assert len(result.text) >= 14
+        from repro.analysis.metrics import edit_distance
+
+        assert edit_distance(result.text, text) <= 2
+
+    def test_batch_accuracy_in_paper_band(self, config, attack):
+        """Fig 17: text accuracy >~75 %, per-key >~95 % on clean entry."""
+        from repro.analysis.metrics import AccuracyReport
+        from repro.workloads.credentials import credential_batch
+
+        rng = np.random.default_rng(50)
+        report = AccuracyReport()
+        for i, text in enumerate(credential_batch(rng, 25)):
+            trace = simulate_credential_entry(config, CHASE, text, seed=300 + i)
+            result = attack.run_on_trace(trace, seed=600 + i)
+            report.add(text, result.text)
+        assert report.text_accuracy >= 0.6
+        assert report.key_accuracy >= 0.95
+
+    def test_inference_latency_under_paper_bound(self, config, attack):
+        """Fig 25: the bulk of inferences complete within 0.1 ms.  (The
+        paper's C++ service hits 95 % < 0.1 ms; in Python we assert the
+        median against the same bound and keep a loose tail bound so the
+        test is robust to scheduler noise.)"""
+        trace = simulate_credential_entry(config, CHASE, "latencytest1", seed=24)
+        result = attack.run_on_trace(trace, seed=903)
+        times = np.array(result.inference_times_s)
+        assert np.median(times) < 1e-4
+        assert np.quantile(times, 0.9) < 1e-3
+
+
+class TestCorrectionsEndToEnd:
+    def test_backspace_corrections_tracked(self, config, attack):
+        rng = np.random.default_rng(31)
+        typing = TypingModel(rng)
+        events, final = typing_with_corrections("secretpw", typing, rng, typo_prob=0.5)
+        device = VictimDevice(config, CHASE, rng=rng)
+        end = max(e.t for e in events) + 2.5
+        trace = device.compile(events, end_time_s=end)
+        assert trace.final_text == "secretpw"
+        result = attack.run_on_trace(trace, seed=904)
+        from repro.analysis.metrics import edit_distance
+
+        # deleted characters must not linger in the inferred credential
+        assert edit_distance(result.text, "secretpw") <= 2
+        assert result.online.stats.deletions_detected >= 1
+
+
+class TestAppSwitchEndToEnd:
+    def test_away_activity_not_mistaken_for_typing(self, config, attack):
+        from repro.android.events import AppSwitchAway, AppSwitchBack, KeyPress
+
+        events = [
+            KeyPress(t=0.6, char="a"),
+            KeyPress(t=1.1, char="b"),
+            AppSwitchAway(t=2.0),
+            AppSwitchBack(t=9.0),
+            KeyPress(t=10.0, char="c"),
+        ]
+        device = VictimDevice(config, CHASE, rng=np.random.default_rng(32))
+        trace = device.compile(events, end_time_s=11.5)
+        result = attack.run_on_trace(trace, seed=905)
+        assert result.text == "abc"
+        assert result.online.stats.suppressed_by_switch > 0
+
+
+class TestPracticalSession:
+    def test_three_minute_session_mostly_recovered(self, config, attack):
+        rng = np.random.default_rng(33)
+        session = practical_session(rng, TypingModel(rng), volunteer_index=0)
+        device = VictimDevice(config, CHASE, rng=rng)
+        trace = device.compile(session.events, end_time_s=session.duration_s)
+        result = attack.run_on_trace(trace, seed=906)
+        from repro.analysis.metrics import align
+
+        alignment = align(trace.final_text, result.text)
+        key_accuracy = alignment.correct / max(1, len(trace.final_text))
+        assert key_accuracy >= 0.75
+
+
+class TestLoadEndToEnd:
+    def test_moderate_cpu_load_tolerated(self, config, attack):
+        trace = simulate_credential_entry(config, CHASE, "loadedpass", seed=25)
+        result = attack.run_on_trace(trace, seed=907, load=SystemLoad(cpu_utilization=0.25))
+        from repro.analysis.metrics import edit_distance
+
+        assert edit_distance(result.text, "loadedpass") <= 2
+
+    def test_full_cpu_load_degrades(self, config, attack):
+        from repro.analysis.metrics import edit_distance
+        from repro.workloads.credentials import credential_batch
+
+        rng = np.random.default_rng(2600)
+        errors_idle, errors_busy = 0, 0
+        for i, text in enumerate(credential_batch(rng, 15)):
+            trace = simulate_credential_entry(config, CHASE, text, seed=260 + i)
+            idle = attack.run_on_trace(trace, seed=908 + i)
+            busy = attack.run_on_trace(
+                trace, seed=908 + i, load=SystemLoad(cpu_utilization=1.0)
+            )
+            errors_idle += edit_distance(idle.text, text)
+            errors_busy += edit_distance(busy.text, text)
+        assert errors_busy > errors_idle
+
+
+class TestMitigationsEndToEnd:
+    def test_rbac_blocks_attack_entirely(self, config, attack):
+        from repro.kgsl.ioctl import IoctlError
+
+        trace = simulate_credential_entry(config, CHASE, "protected1", seed=26)
+        with pytest.raises(IoctlError):
+            attack.run_on_trace(trace, seed=909, access_policy=RbacPolicy())
+
+    def test_local_only_policy_blinds_attack(self, config, attack):
+        trace = simulate_credential_entry(config, CHASE, "protected2", seed=27)
+        result = attack.run_on_trace(trace, seed=910, access_policy=LocalOnlyPolicy())
+        assert result.text == ""

@@ -1,0 +1,66 @@
+"""Tests for target-app launch detection (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.android.apps import CHASE
+from repro.android.device import VictimDevice
+from repro.android.events import KeyPress
+from repro.core.launch import IDLE_POLL_INTERVAL_S, LaunchDetector
+from repro.kgsl.device_file import DeviceClock, open_kgsl
+from repro.kgsl.sampler import PerfCounterSampler, nonzero_deltas
+
+
+@pytest.fixture(scope="module")
+def launch_stream(config):
+    """Slow-poll deltas over a session that includes the app launch
+    (initial full render at t=0) and subsequent typing."""
+    device = VictimDevice(config, CHASE, rng=np.random.default_rng(21))
+    events = [KeyPress(t=3.0 + 0.5 * i, char=c) for i, c in enumerate("abc")]
+    trace = device.compile(events, end_time_s=6.0)
+    kgsl = open_kgsl(trace.timeline, clock=DeviceClock())
+    sampler = PerfCounterSampler(
+        kgsl, interval_s=IDLE_POLL_INTERVAL_S, rng=np.random.default_rng(22)
+    )
+    samples = sampler.sample_range(0.0, 6.0)
+    return nonzero_deltas(samples)
+
+
+class TestLaunchDetector:
+    def test_detects_the_launch(self, chase_model, launch_stream):
+        detector = LaunchDetector(chase_model)
+        events = detector.scan(launch_stream)
+        assert events, "the app launch must be detected"
+        assert events[0].t < 3.0, "detection must precede the credential typing"
+
+    def test_idle_stream_triggers_nothing(self, chase_model, config):
+        device = VictimDevice(config, CHASE, rng=np.random.default_rng(23))
+        trace = device.compile([], end_time_s=5.0)
+        # drop the initial render to simulate 'some other app idling'
+        frames = [f for f in trace.timeline.frames if f.label != "initial"]
+        from repro.gpu.timeline import RenderTimeline
+
+        idle = RenderTimeline()
+        for frame in frames:
+            idle.add(frame)
+        kgsl = open_kgsl(idle, clock=DeviceClock())
+        sampler = PerfCounterSampler(
+            kgsl, interval_s=IDLE_POLL_INTERVAL_S, rng=np.random.default_rng(24)
+        )
+        deltas = nonzero_deltas(sampler.sample_range(0.0, 5.0))
+        detector = LaunchDetector(chase_model)
+        assert detector.scan(deltas) == []
+
+    def test_burst_without_confirmation_expires(self, chase_model, launch_stream):
+        detector = LaunchDetector(chase_model, confirm_window_s=0.0)
+        assert detector.scan(launch_stream) == []
+
+    def test_custom_threshold(self, chase_model, launch_stream):
+        detector = LaunchDetector(chase_model, burst_threshold=1e12)
+        assert detector.scan(launch_stream) == []
+
+    def test_empty_deltas_ignored(self, chase_model):
+        from repro.kgsl.sampler import PcDelta
+
+        detector = LaunchDetector(chase_model)
+        assert detector.observe(PcDelta(t=1.0, prev_t=0.9, values={})) is None

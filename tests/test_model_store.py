@@ -1,0 +1,93 @@
+"""Tests for the preloaded model store."""
+
+import numpy as np
+import pytest
+
+from repro.core import features
+from repro.core.classifier import ClassificationModel
+from repro.core.model_store import ModelStore
+
+
+def model(key, offset=0.0):
+    return ClassificationModel(
+        labels=["key:a", "key:b"],
+        centroids=np.vstack(
+            [np.full(features.DIMENSIONS, 1.0 + offset), np.full(features.DIMENSIONS, 2.0 + offset)]
+        ),
+        scale=np.ones(features.DIMENSIONS),
+        cth=1.0,
+        model_key=key,
+    )
+
+
+class TestStore:
+    def test_add_and_get(self):
+        store = ModelStore()
+        store.add(model("a/chase"))
+        assert store.get("a/chase").model_key == "a/chase"
+
+    def test_unknown_key_raises(self):
+        store = ModelStore()
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_unkeyed_model_rejected(self):
+        store = ModelStore()
+        with pytest.raises(ValueError):
+            store.add(model(""))
+
+    def test_contains_len_iter(self):
+        store = ModelStore()
+        store.add(model("x"))
+        store.add(model("y"))
+        assert "x" in store and "z" not in store
+        assert len(store) == 2
+        assert {m.model_key for m in store} == {"x", "y"}
+
+    def test_duplicate_key_replaces(self):
+        store = ModelStore()
+        store.add(model("x"))
+        store.add(model("x", offset=5.0))
+        assert len(store) == 1
+        assert store.get("x").centroids[0, 0] == 6.0
+
+    def test_keys_sorted(self):
+        store = ModelStore()
+        for key in ("b", "a", "c"):
+            store.add(model(key))
+        assert store.keys() == ["a", "b", "c"]
+
+
+class TestSizes:
+    def test_total_and_average(self):
+        store = ModelStore()
+        store.add(model("x"))
+        store.add(model("y"))
+        assert store.total_size_bytes() > 0
+        assert store.average_size_bytes() == pytest.approx(store.total_size_bytes() / 2)
+
+    def test_empty_average_is_zero(self):
+        assert ModelStore().average_size_bytes() == 0.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ModelStore()
+        store.add(model("cfg1/chase"))
+        store.add(model("cfg2/amex", offset=3.0))
+        path = tmp_path / "models.json"
+        store.save(path)
+        loaded = ModelStore.load(path)
+        assert loaded.keys() == store.keys()
+        assert np.allclose(
+            loaded.get("cfg2/amex").centroids, store.get("cfg2/amex").centroids
+        )
+
+    def test_loaded_model_classifies(self, tmp_path, chase_model):
+        store = ModelStore()
+        store.add(chase_model)
+        path = tmp_path / "m.json"
+        store.save(path)
+        loaded = ModelStore.load(path).get(chase_model.model_key)
+        centroid = chase_model.centroid("key:w")
+        assert loaded.classify_vector(centroid).label == "key:w"

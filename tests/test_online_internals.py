@@ -1,0 +1,141 @@
+"""Tests for the online engine's internal machinery: ambient deflation,
+noise-ring management, effective magnitudes, plausible-length windows."""
+
+import numpy as np
+import pytest
+
+from repro.core import features
+from repro.core.classifier import ClassificationModel
+from repro.core.online import OnlineEngine
+from repro.gpu import counters as pc
+from repro.kgsl.sampler import PcDelta
+
+D0 = pc.SELECTED_COUNTERS[0].counter_id
+D1 = pc.SELECTED_COUNTERS[1].counter_id
+D2 = pc.SELECTED_COUNTERS[2].counter_id
+
+
+def vec(**kw):
+    v = np.zeros(features.DIMENSIONS)
+    for index, value in kw.items():
+        v[int(index[1:])] = value
+    return v
+
+
+@pytest.fixture()
+def model():
+    labels = ["key:a", "key:b", "field:0:on", "field:1:on", "reject:dismiss:a"]
+    centroids = np.vstack(
+        [vec(d0=1000, d1=100), vec(d0=2000, d1=250), vec(d2=50), vec(d2=50, d1=20), vec(d0=400, d1=37)]
+    )
+    return ClassificationModel(
+        labels=labels,
+        centroids=centroids,
+        scale=np.full(features.DIMENSIONS, 10.0),
+        cth=2.0,
+        model_key="toy",
+    )
+
+
+def delta(t, values, prev_dt=0.008):
+    return PcDelta(t=t, prev_t=t - prev_dt, values=values)
+
+
+def ambient_delta(t, magnitude):
+    """Background contribution: fixed direction, varying magnitude."""
+    return delta(t, {D0: int(60 * magnitude), D1: int(37 * magnitude), D2: int(11 * magnitude)})
+
+
+class TestAmbientDirection:
+    def test_no_direction_until_ring_full(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        for i in range(engine.AMBIENT_WINDOW - 1):
+            engine._note_noise(ambient_delta(i * 0.01, 10))
+        assert engine._ambient_direction() is None
+
+    def test_coherent_ring_yields_direction(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        rng = np.random.default_rng(0)
+        for i in range(engine.AMBIENT_WINDOW):
+            engine._note_noise(ambient_delta(i * 0.01, 5 + 20 * rng.random()))
+        direction = engine._ambient_direction()
+        assert direction is not None
+        raw_dir, scaled_dir = direction
+        truth = np.zeros(features.DIMENSIONS)
+        truth[0], truth[1], truth[2] = 60, 37, 11
+        truth = truth / np.linalg.norm(truth)
+        assert float(raw_dir @ truth) > 0.999
+        assert np.isclose(np.linalg.norm(scaled_dir), 1.0)
+
+    def test_incoherent_ring_rejected(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        rng = np.random.default_rng(1)
+        for i in range(engine.AMBIENT_WINDOW):
+            values = {D0: int(rng.integers(1, 5000)), D1: int(rng.integers(1, 5000))}
+            if i % 2:
+                values = {D2: int(rng.integers(1, 5000))}
+            engine._note_noise(delta(i * 0.01, values))
+        assert engine._ambient_direction() is None
+
+    def test_ring_is_bounded(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        for i in range(engine.AMBIENT_WINDOW * 3):
+            engine._note_noise(ambient_delta(i * 0.01, 10))
+        assert len(engine._noise_ring) == engine.AMBIENT_WINDOW
+
+
+class TestDeflationLifecycle:
+    def _prime(self, engine):
+        rng = np.random.default_rng(2)
+        for i in range(engine.AMBIENT_WINDOW):
+            engine._note_noise(ambient_delta(i * 0.01, 5 + 20 * rng.random()))
+        engine._refresh_deflation()
+
+    def test_refresh_adopts_deflated_model(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        assert engine._active_model is model
+        self._prime(engine)
+        assert engine._deflation_u is not None
+        assert engine._active_model is not model
+        assert engine._active_model.deflate_direction is not None
+
+    def test_refresh_is_stable_for_unchanged_direction(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        self._prime(engine)
+        adopted = engine._active_model
+        engine._refresh_deflation()
+        assert engine._active_model is adopted
+
+    def test_deflated_model_ignores_ambient_component(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        self._prime(engine)
+        contaminated = vec(d0=1000 + 600, d1=100 + 370, d2=110)  # key:a + 10x ambient
+        got = engine._active_model.classify_vector(contaminated)
+        assert got.label == "key:a"
+
+    def test_effective_magnitude_shrinks_ambient(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        assert engine._effective_magnitude(ambient_delta(1.0, 10)) == pytest.approx(
+            ambient_delta(1.0, 10).total
+        )
+        self._prime(engine)
+        residual = engine._effective_magnitude(ambient_delta(1.0, 10))
+        assert residual < 0.1 * ambient_delta(1.0, 10).total
+
+
+class TestPlausibleLengths:
+    def test_none_before_field_events(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        assert engine._plausible_lengths() is None
+
+    def test_window_spans_tracker_bounds(self, model):
+        engine = OnlineEngine(model, detect_switches=False)
+        engine.corrections.observe(0.5, 3, keys_inferred_total=0)
+        engine.corrections.observe(1.0, 5, keys_inferred_total=2)
+        lengths = engine._plausible_lengths()
+        assert lengths is not None
+        assert set(range(2, 8)) <= set(lengths)
+
+    def test_disabled_when_corrections_off(self, model):
+        engine = OnlineEngine(model, detect_switches=False, track_corrections=False)
+        assert engine._plausible_lengths() is None

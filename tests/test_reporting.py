@@ -1,0 +1,91 @@
+"""Tests for the ASCII figure rendering helpers."""
+
+from repro.analysis.reporting import (
+    bar_chart,
+    grouped_bar_chart,
+    histogram,
+    sparkline,
+    table,
+)
+
+
+class TestBarChart:
+    def test_rows_and_values_rendered(self):
+        out = bar_chart({"alpha": 0.5, "beta": 1.0}, title="T", width=10)
+        assert out.startswith("T")
+        assert "alpha" in out and "beta" in out
+        assert "0.500" in out and "1.000" in out
+
+    def test_bar_length_proportional(self):
+        out = bar_chart({"half": 0.5, "full": 1.0}, width=10, vmax=1.0)
+        lines = out.splitlines()
+        half_bar = lines[0].split("│")[1]
+        full_bar = lines[1].split("│")[1]
+        assert full_bar.count("█") == 10
+        assert half_bar.count("█") == 5
+
+    def test_empty_rows(self):
+        assert bar_chart({}, title="only title") == "only title"
+
+    def test_vmax_zero_safe(self):
+        out = bar_chart({"z": 0.0}, width=10)
+        assert "z" in out
+
+    def test_custom_format(self):
+        out = bar_chart({"x": 0.1234}, fmt="{:.1%}")
+        assert "12.3%" in out
+
+
+class TestGroupedBarChart:
+    def test_two_series_per_label(self):
+        out = grouped_bar_chart(
+            {"chase": (0.8, 0.98)}, series=("text", "key"), width=10
+        )
+        assert "0.800" in out and "0.980" in out
+        assert "░" in out and "█" in out
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, series=("a", "b"), title="t") == "t"
+
+
+class TestHistogram:
+    def test_counts_and_percentages(self):
+        out = histogram([1, 2, 3, 11, 12], edges=[0, 10, 20], unit="ms")
+        assert "3 (60.0%)" in out
+        assert "2 (40.0%)" in out
+
+    def test_out_of_range_ignored(self):
+        out = histogram([100], edges=[0, 10])
+        assert "0 (0.0%)" in out
+
+    def test_empty_values(self):
+        out = histogram([], edges=[0, 1, 2])
+        assert out.count("0 (0.0%)") == 2
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        out = table(["name", "acc"], [["chase", 0.9], ["amex", 0.85]], title="apps")
+        lines = out.splitlines()
+        assert lines[0] == "apps"
+        assert "name" in lines[1] and "acc" in lines[1]
+        assert "chase" in out and "0.85" in out
+
+    def test_wide_cells_expand_columns(self):
+        out = table(["x"], [["averyverylongvalue"]])
+        assert "averyverylongvalue" in out
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_values_monotone_blocks(self):
+        from repro.analysis.reporting import _BLOCKS
+
+        line = sparkline([1, 2, 3, 4], vmax=4)
+        levels = [_BLOCKS.index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_empty(self):
+        assert sparkline([]) == ""

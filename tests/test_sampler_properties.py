@@ -1,0 +1,110 @@
+"""Property-based tests on the sampler and counter algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import counters as pc
+from repro.gpu.pipeline import FrameStats
+from repro.gpu.timeline import RenderTimeline
+from repro.kgsl.device_file import DeviceClock, open_kgsl
+from repro.kgsl.sampler import PerfCounterSampler, SystemLoad, deltas
+
+CID = pc.RAS_8X4_TILES.counter_id
+
+
+def build_timeline(frames):
+    timeline = RenderTimeline()
+    for start, amount in frames:
+        inc = pc.CounterIncrement()
+        inc.add(pc.RAS_8X4_TILES, amount)
+        timeline.add_render(
+            start,
+            FrameStats(increment=inc, pixels_touched=amount, render_time_s=0.002),
+        )
+    return timeline
+
+
+class TestSamplerProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.05, 2.0), st.integers(1, 10**5)),
+            min_size=0,
+            max_size=12,
+        ),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sum_of_deltas_equals_total_rendered(self, frames, seed):
+        timeline = build_timeline(frames)
+        dev = open_kgsl(timeline, clock=DeviceClock())
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(seed))
+        samples = sampler.sample_range(0.0, 2.5)
+        total = sum(d.values.get(CID, 0) for d in deltas(samples))
+        rendered = sum(amount for _, amount in frames)
+        # the last read happens after every render completes
+        first_value = samples[0].values.get(CID, 0)
+        assert first_value + total == rendered
+
+    @given(st.integers(0, 500), st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_read_times_monotone_under_any_load(self, seed, cpu):
+        timeline = build_timeline([(0.5, 100)])
+        dev = open_kgsl(timeline, clock=DeviceClock())
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(seed))
+        samples = sampler.sample_range(0.0, 1.5, load=SystemLoad(cpu_utilization=cpu))
+        times = [s.t for s in samples]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_values_never_decrease(self, seed):
+        timeline = build_timeline([(0.2, 10), (0.6, 20), (1.0, 30)])
+        dev = open_kgsl(timeline, clock=DeviceClock())
+        sampler = PerfCounterSampler(dev, rng=np.random.default_rng(seed))
+        samples = sampler.sample_range(0.0, 1.5)
+        values = [s.values.get(CID, 0) for s in samples]
+        assert values == sorted(values)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_drop_rate_monotone_in_cpu_load(self, cpu_low, cpu_high):
+        if cpu_low > cpu_high:
+            cpu_low, cpu_high = cpu_high, cpu_low
+        timeline = build_timeline([])
+
+        def drops(cpu):
+            dev = open_kgsl(timeline, clock=DeviceClock())
+            sampler = PerfCounterSampler(dev, rng=np.random.default_rng(7))
+            sampler.sample_range(0.0, 4.0, load=SystemLoad(cpu_utilization=cpu))
+            return sampler.reads_dropped
+
+        # same RNG seed: higher load can only convert more reads to drops
+        assert drops(cpu_high) >= drops(cpu_low) - 2
+
+
+class TestIncrementAlgebra:
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    def test_merge_adds(self, a, b):
+        inc_a = pc.CounterIncrement()
+        inc_a.add(pc.RAS_8X4_TILES, a)
+        inc_b = pc.CounterIncrement()
+        inc_b.add(pc.RAS_8X4_TILES, b)
+        assert inc_a.merge(inc_b).get(pc.RAS_8X4_TILES) == a + b
+
+    @given(st.integers(0, 10**9), st.floats(0.0, 2.0))
+    def test_scaled_rounds(self, a, factor):
+        inc = pc.CounterIncrement()
+        inc.add(pc.RAS_8X4_TILES, a)
+        scaled = inc.scaled(factor)
+        assert scaled.get(pc.RAS_8X4_TILES) == int(round(a * factor))
+
+    @given(st.integers(1, 10**9))
+    def test_bank_wraps(self, a):
+        bank = pc.CounterBank()
+        bank.load({CID: pc.CounterBank.WRAP - 1})
+        inc = pc.CounterIncrement()
+        inc.add(pc.RAS_8X4_TILES, a)
+        bank.apply(inc)
+        assert bank.read_id(CID) == (pc.CounterBank.WRAP - 1 + a) % pc.CounterBank.WRAP

@@ -1,0 +1,60 @@
+"""Tests for the KGSL sysfs gpu_busy_percentage node (footnote 10)."""
+
+import pytest
+
+from repro.gpu import counters as pc
+from repro.gpu.pipeline import FrameStats
+from repro.gpu.timeline import RenderTimeline
+from repro.kgsl.device_file import DeviceClock
+from repro.kgsl.sysfs import GPU_BUSY_PATH, GpuBusyNode
+
+
+def busy_timeline(start, duration):
+    timeline = RenderTimeline()
+    inc = pc.CounterIncrement()
+    inc.add(pc.RAS_8X4_TILES, 100)
+    timeline.add_render(
+        start, FrameStats(increment=inc, pixels_touched=100, render_time_s=duration)
+    )
+    return timeline
+
+
+class TestGpuBusyNode:
+    def test_idle_reads_zero(self):
+        node = GpuBusyNode(RenderTimeline(), DeviceClock())
+        node.clock.set(1.0)
+        assert node.read() == 0
+
+    def test_fully_busy_window_reads_hundred(self):
+        node = GpuBusyNode(busy_timeline(0.95, 0.2), DeviceClock())
+        node.clock.set(1.0)
+        assert node.read() == 100
+
+    def test_half_busy_window(self):
+        node = GpuBusyNode(busy_timeline(0.975, 0.025), DeviceClock())
+        node.clock.set(1.0)
+        assert 40 <= node.read() <= 60
+
+    def test_read_text_has_trailing_newline(self):
+        node = GpuBusyNode(RenderTimeline(), DeviceClock())
+        assert node.read_text().endswith("\n")
+
+    def test_path_constant(self):
+        assert GPU_BUSY_PATH.endswith("gpu_busy_percentage")
+
+    def test_tracks_background_utilization(self):
+        """The node approximates the duty cycle the paper's experiments
+        target with their emulated GPU workloads."""
+        import numpy as np
+
+        from repro.android.display import Display
+        from repro.gpu.adreno import adreno
+        from repro.workloads.background import BackgroundRenderer
+
+        renderer = BackgroundRenderer(
+            adreno(650), Display(), 0.5, rng=np.random.default_rng(0)
+        )
+        timeline = renderer.timeline(0.0, 2.0)
+        node = GpuBusyNode(timeline, DeviceClock(), window_s=0.5)
+        node.clock.set(1.5)
+        assert 35 <= node.read() <= 65

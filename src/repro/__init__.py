@@ -66,9 +66,18 @@ from repro.core.online import OnlineEngine, OnlineResult
 from repro.core.pipeline import (
     AttackResult,
     EavesdropAttack,
+    run_sessions,
     simulate_credential_entry,
     train_model,
     train_store,
+)
+from repro.runtime import (
+    RuntimeEvent,
+    RuntimeTrace,
+    SamplerDeltaSource,
+    Session,
+    SessionRuntime,
+    VirtualClock,
 )
 from repro.gpu.adreno import ADRENO_MODELS, AdrenoSpec, adreno
 from repro.gpu.counters import SELECTED_COUNTERS, CounterGroup, CounterSpec
@@ -115,9 +124,14 @@ __all__ = [
     "PerfCounterSampler",
     "PhoneModel",
     "Resolution",
+    "RuntimeEvent",
+    "RuntimeTrace",
     "SCHWAB",
     "SCHWAB_WEB",
     "SELECTED_COUNTERS",
+    "SamplerDeltaSource",
+    "Session",
+    "SessionRuntime",
     "SessionTrace",
     "SystemLoad",
     "TARGET_APPS",
@@ -125,6 +139,7 @@ __all__ = [
     "TypistIdentifier",
     "VOLUNTEERS",
     "VictimDevice",
+    "VirtualClock",
     "adreno",
     "align",
     "app",
@@ -135,6 +150,7 @@ __all__ = [
     "load_session",
     "open_kgsl",
     "phone",
+    "run_sessions",
     "save_session",
     "ServiceReport",
     "simulate_credential_entry",

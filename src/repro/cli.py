@@ -34,6 +34,12 @@ def _build_parser() -> argparse.ArgumentParser:
     steal.add_argument("--keyboard", default="gboard")
     steal.add_argument("--app", default="chase")
     steal.add_argument("--seed", type=int, default=42)
+    steal.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help="victim sessions to run concurrently on one session runtime",
+    )
 
     train = sub.add_parser("train", help="offline phase: train and save models")
     train.add_argument("output", help="model store JSON path")
@@ -49,6 +55,12 @@ def _build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--app", default="chase")
     attack.add_argument("--seed", type=int, default=42)
     attack.add_argument("--guesses", type=int, default=10)
+    attack.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help="victim sessions to run concurrently on one session runtime",
+    )
 
     survey = sub.add_parser("survey", help="per-key weak spots for a keyboard")
     survey.add_argument("--keyboard", default="gboard")
@@ -69,6 +81,31 @@ def _config(phone_name: str, keyboard_name: str):
     return DeviceConfig(phone=phone(phone_name), keyboard=keyboard(keyboard_name))
 
 
+def _run_batched(attack, config, target, credential, seed, sessions) -> int:
+    """Run ``sessions`` concurrent victims on one session runtime and
+    print per-session outcomes plus the aggregate accuracy."""
+    import time
+
+    from repro.core.pipeline import run_sessions, simulate_credential_entry
+
+    traces = [
+        simulate_credential_entry(config, target, credential, seed=seed + i)
+        for i in range(sessions)
+    ]
+    started = time.perf_counter()
+    results = run_sessions(attack, traces, seed=seed + 1000)
+    elapsed = time.perf_counter() - started
+    exact = sum(1 for r in results if r.text == credential)
+    for i, result in enumerate(results):
+        marker = "EXACT" if result.text == credential else "partial"
+        print(f"session {i:3d}: {result.text!r:24s} {marker}")
+    print(f"typed          : {credential!r}")
+    print(f"sessions       : {sessions}")
+    print(f"exact matches  : {exact}/{sessions} ({exact / sessions:.1%})")
+    print(f"throughput     : {sessions / elapsed:.1f} sessions/s")
+    return 0 if exact * 2 >= sessions else 1
+
+
 def _cmd_steal(args) -> int:
     from repro.android.apps import app
     from repro.core.model_store import ModelStore
@@ -81,6 +118,10 @@ def _cmd_steal(args) -> int:
     store = ModelStore()
     store.add(model)
     attack = EavesdropAttack(store, recognize_device=False)
+    if args.sessions > 1:
+        return _run_batched(
+            attack, config, target, args.credential, args.seed, args.sessions
+        )
     trace = simulate_credential_entry(config, target, args.credential, seed=args.seed)
     result = attack.run_on_trace(trace, seed=args.seed + 1)
     print(f"typed    : {args.credential!r}")
@@ -119,6 +160,10 @@ def _cmd_attack(args) -> int:
     config = _config(args.phone, args.keyboard)
     target = app(args.app)
     attack = EavesdropAttack(store)
+    if args.sessions > 1:
+        return _run_batched(
+            attack, config, target, args.credential, args.seed, args.sessions
+        )
     trace = simulate_credential_entry(config, target, args.credential, seed=args.seed)
     result = attack.run_on_trace(trace, seed=args.seed + 1)
     print(f"recognized: {result.model_key}")

@@ -18,7 +18,7 @@ victim is elsewhere (Fig 26).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.classifier import ClassificationModel
 from repro.kgsl.sampler import PcDelta
@@ -92,3 +92,40 @@ class LaunchDetector:
             if event is not None:
                 events.append(event)
         return events
+
+
+class LaunchWatchStage:
+    """The idle-watch mode of the monitoring service as a runtime stage.
+
+    Feeds every slow-poll delta to a :class:`LaunchDetector`; when the
+    launch is confirmed, invokes ``on_launch(session, event)`` — which
+    typically calls :meth:`~repro.runtime.session.Session.switch_mode`
+    to escalate the session into the 8 ms attack mode.  The stage
+    consumes its input (nothing flows past the idle watch).
+    """
+
+    name = "launch-watch"
+
+    def __init__(
+        self,
+        detector: LaunchDetector,
+        on_launch: Callable[[object, LaunchEvent], None],
+    ) -> None:
+        self.detector = detector
+        self.on_launch = on_launch
+        self.launch: Optional[LaunchEvent] = None
+
+    def on_event(self, session, t: float, delta: PcDelta):
+        if self.launch is not None:
+            return None
+        event = self.detector.observe(delta)
+        if event is not None:
+            self.launch = event
+            session.trace.emit(
+                t, session.id, self.name, "launch_detected", score=event.score
+            )
+            self.on_launch(session, event)
+        return None
+
+    def on_end(self, session, t: float):
+        return None

@@ -46,6 +46,7 @@ from repro.core.corrections import CorrectionTracker
 from repro.core import features
 from repro.core.dedup import DEDUP_WINDOW_S, DuplicationFilter
 from repro.kgsl.sampler import PcDelta
+from repro.runtime.trace import RuntimeTrace
 
 #: Maximum gap between two reads for split recombination: a render split
 #: across reads lands in *consecutive* reads, so a little over one
@@ -111,6 +112,9 @@ class OnlineEngine:
         detect_switches: bool = True,
         track_corrections: bool = True,
         recover_collisions: bool = True,
+        trace: Optional[RuntimeTrace] = None,
+        session: str = "",
+        stage_name: str = "engine",
     ) -> None:
         self.model = model
         self.interval_s = interval_s
@@ -118,14 +122,26 @@ class OnlineEngine:
         self.track_corrections = track_corrections
         self.corrections = CorrectionTracker()
         self.recover_collisions = recover_collisions
+        self.trace = trace
+        self.session = session
+        self.stage_name = stage_name
         self._noise_ring: List = []
         self._active_model = model
         self._deflation_u = None
+        self._result: Optional[OnlineResult] = None
+        self._prev: Optional[PcDelta] = None
+        self._prev_consumed = True
+        self._last_fed_t: Optional[float] = None
         self.switch_detector: Optional[AppSwitchDetector] = None
         if detect_switches:
             self.switch_detector = AppSwitchDetector(
                 big_threshold=self._switch_threshold(model)
             )
+
+    def _emit(self, t: float, kind: str, **detail) -> None:
+        """Record one engine decision in the shared runtime event log."""
+        if self.trace is not None:
+            self.trace.emit(t, self.session, self.stage_name, kind, **detail)
 
     @staticmethod
     def _switch_threshold(model: ClassificationModel) -> float:
@@ -141,111 +157,153 @@ class OnlineEngine:
     # ------------------------------------------------------------------
 
     def process(self, deltas: Sequence[PcDelta]) -> OnlineResult:
-        """Run the engine over a complete delta stream."""
-        result = OnlineResult()
-        prev: Optional[PcDelta] = None
-        prev_consumed = True
+        """Run the engine over a complete delta stream.
 
+        The batch path is a thin wrapper: it delegates every delta to the
+        incremental :meth:`feed` and closes the stream with
+        :meth:`finish`, so streaming and batch execution are the same
+        code path by construction.
+        """
+        self.begin()
         for delta in deltas:
-            if not delta:
-                continue
-            result.stats.deltas_seen += 1
+            self.feed(delta)
+        return self.finish()
 
-            # Ambient-workload correction (Fig 22b): a background app adds
-            # an increment of unknown magnitude but stable *direction* to
-            # every counter read.  Once that direction is estimated (from
-            # the recurring unexplained deltas), the engine switches to a
-            # deflated model view that projects it out of observations and
-            # centroids alike, cleaning the whole pipeline at once.
-            if self.recover_collisions:
-                self._refresh_deflation()
+    def begin(self) -> OnlineResult:
+        """Open a new stream; returns the (live) result accumulator."""
+        self._result = OnlineResult()
+        self._prev = None
+        self._prev_consumed = True
+        self._last_fed_t = None
+        return self._result
 
+    def feed(self, delta: PcDelta) -> OnlineResult:
+        """Consume one PC delta incrementally (Algorithm 1, one step).
+
+        This is the streaming entry point the session runtime drives;
+        state between calls (the unconsumed previous delta, the dedup
+        window, the correction tracker) lives on the engine.
+        """
+        if self._result is None:
+            self.begin()
+        result = self._result
+        self._last_fed_t = delta.t
+        if not delta:
+            return result
+        result.stats.deltas_seen += 1
+
+        # Ambient-workload correction (Fig 22b): a background app adds
+        # an increment of unknown magnitude but stable *direction* to
+        # every counter read.  Once that direction is estimated (from
+        # the recurring unexplained deltas), the engine switches to a
+        # deflated model view that projects it out of observations and
+        # centroids alike, cleaning the whole pipeline at once.
+        if self.recover_collisions:
+            self._refresh_deflation(t=delta.t)
+
+        t0 = time.perf_counter()
+        classification = self._active_model.classify(delta)
+        result.inference_times_s.append(time.perf_counter() - t0)
+
+        prev, prev_consumed = self._prev, self._prev_consumed
+
+        if self.switch_detector is not None:
+            observation = self.switch_detector.observe(
+                delta, classification, magnitude=self._effective_magnitude(delta)
+            )
+            if observation.suppress:
+                result.stats.suppressed_by_switch += 1
+                self._emit(delta.t, "switch_suppressed")
+                if classification.label is None:
+                    # suppressed-but-unexplained changes still inform
+                    # the ambient-workload estimate (a login animation
+                    # can otherwise starve it into permanent suppression)
+                    self._note_noise(delta)
+                self._prev, self._prev_consumed = delta, True
+                return result
+
+        # Split recombination (Algorithm 1 lines 7-10): when the
+        # previous change went unexplained, consider that this change
+        # is the tail of a render split across two reads.  Take the
+        # merged interpretation whenever it explains the data strictly
+        # better than the change alone.
+        merged_cls = None
+        event_t = delta.t
+        if (
+            prev is not None
+            and not prev_consumed
+            and delta.t - prev.t <= self.interval_s * SPLIT_MERGE_FACTOR
+        ):
+            merged = delta.merge(prev)
             t0 = time.perf_counter()
-            classification = self._active_model.classify(delta)
+            merged_cls = self._active_model.classify(merged)
             result.inference_times_s.append(time.perf_counter() - t0)
+        if merged_cls is not None and merged_cls.label is not None and (
+            classification.label is None
+            or merged_cls.distance < classification.distance
+        ):
+            classification = merged_cls
+            event_t = prev.t
+            result.stats.splits_recovered += 1
+            self._emit(delta.t, "split_merge", merged_from=prev.t)
 
-            if self.switch_detector is not None:
-                observation = self.switch_detector.observe(
-                    delta, classification, magnitude=self._effective_magnitude(delta)
-                )
-                if observation.suppress:
-                    result.stats.suppressed_by_switch += 1
-                    if classification.label is None:
-                        # suppressed-but-unexplained changes still inform
-                        # the ambient-workload estimate (a login animation
-                        # can otherwise starve it into permanent suppression)
-                        self._note_noise(delta)
-                    prev, prev_consumed = delta, True
-                    continue
-
-            # Split recombination (Algorithm 1 lines 7-10): when the
-            # previous change went unexplained, consider that this change
-            # is the tail of a render split across two reads.  Take the
-            # merged interpretation whenever it explains the data strictly
-            # better than the change alone.
-            merged_cls = None
-            event_t = delta.t
-            if (
-                prev is not None
-                and not prev_consumed
-                and delta.t - prev.t <= self.interval_s * SPLIT_MERGE_FACTOR
-            ):
-                merged = delta.merge(prev)
+        if classification.label is None and self.recover_collisions:
+            recovered = self._recover_collision(result, delta)
+            if recovered is not None:
+                classification = recovered
+                self._emit(delta.t, "collision_recovered")
+            elif merged_cls is not None and merged_cls.label is None:
+                # a composite event (press + dismiss/field) itself split
+                # across two reads: recombine, then decompose
                 t0 = time.perf_counter()
-                merged_cls = self._active_model.classify(merged)
-                result.inference_times_s.append(time.perf_counter() - t0)
-            if merged_cls is not None and merged_cls.label is not None and (
-                classification.label is None
-                or merged_cls.distance < classification.distance
-            ):
-                classification = merged_cls
-                event_t = prev.t
-                result.stats.splits_recovered += 1
-
-            if classification.label is None and self.recover_collisions:
-                recovered = self._recover_collision(result, delta)
-                if recovered is not None:
-                    classification = recovered
-                elif merged_cls is not None and merged_cls.label is None:
-                    # a composite event (press + dismiss/field) itself split
-                    # across two reads: recombine, then decompose
-                    t0 = time.perf_counter()
-                    merged_composite = self._active_model.classify_composite(
-                        features.vectorize(delta.merge(prev)),
-                        field_lengths=self._plausible_lengths(),
-                    )
-                    result.inference_times_s.append(time.perf_counter() - t0)
-                    if merged_composite.is_key:
-                        classification = merged_composite
-                        event_t = prev.t
-                        result.stats.splits_recovered += 1
-
-            if classification.is_key:
-                self._infer_key(
-                    result, event_t, classification, from_split=event_t != delta.t
+                merged_composite = self._active_model.classify_composite(
+                    features.vectorize(delta.merge(prev)),
+                    field_lengths=self._plausible_lengths(),
                 )
-                prev, prev_consumed = delta, True
-                continue
+                result.inference_times_s.append(time.perf_counter() - t0)
+                if merged_composite.is_key:
+                    classification = merged_composite
+                    event_t = prev.t
+                    result.stats.splits_recovered += 1
+                    self._emit(delta.t, "split_merge", merged_from=prev.t)
 
-            if classification.is_field:
-                self._field_event(result, event_t, classification.field_length)
-                # field redraws stay available for split recombination: a
-                # partially-read blink can masquerade as a shorter field,
-                # and its tail may arrive merged with a key press
-                prev, prev_consumed = delta, False
-                continue
+        if classification.is_key:
+            self._infer_key(
+                result, event_t, classification, from_split=event_t != delta.t
+            )
+            self._prev, self._prev_consumed = delta, True
+            return result
 
-            # Reject classes and unexplained noise both leave the delta
-            # available for split recombination with the *next* change: the
-            # first half of a split key press often masquerades as a
-            # dismiss-like reject before its tail arrives.
-            result.stats.noise_events += 1
-            if classification.label is None:
-                self._note_noise(delta)
-            prev, prev_consumed = delta, False
+        if classification.is_field:
+            self._field_event(result, event_t, classification.field_length)
+            # field redraws stay available for split recombination: a
+            # partially-read blink can masquerade as a shorter field,
+            # and its tail may arrive merged with a key press
+            self._prev, self._prev_consumed = delta, False
+            return result
 
-        if self.switch_detector is not None and deltas:
-            self.switch_detector.flush(deltas[-1].t + 1.0)
+        # Reject classes and unexplained noise both leave the delta
+        # available for split recombination with the *next* change: the
+        # first half of a split key press often masquerades as a
+        # dismiss-like reject before its tail arrives.
+        result.stats.noise_events += 1
+        self._emit(delta.t, "noise", label=classification.label)
+        if classification.label is None:
+            self._note_noise(delta)
+        self._prev, self._prev_consumed = delta, False
+        return result
+
+    def finish(self) -> OnlineResult:
+        """Close the stream: flush pending burst state, detach the result."""
+        if self._result is None:
+            self.begin()
+        if self.switch_detector is not None and self._last_fed_t is not None:
+            self.switch_detector.flush(self._last_fed_t + 1.0)
+        result = self._result
+        self._result = None
+        self._prev = None
+        self._prev_consumed = True
+        self._last_fed_t = None
         return result
 
     # ------------------------------------------------------------------
@@ -295,7 +353,7 @@ class OnlineEngine:
         cleaned = (scaled - float(scaled @ self._deflation_u) * self._deflation_u) * self.model.scale
         return float(np.clip(cleaned, 0.0, None).sum())
 
-    def _refresh_deflation(self) -> None:
+    def _refresh_deflation(self, t: Optional[float] = None) -> None:
         """Adopt (or update) the deflated model view when a stable
         ambient direction is present."""
         direction = self._ambient_direction()
@@ -306,6 +364,7 @@ class OnlineEngine:
             return  # direction unchanged
         self._deflation_u = scaled_dir
         self._active_model = self.model.with_deflation(scaled_dir)
+        self._emit(t if t is not None else 0.0, "ambient_deflation")
         if self.switch_detector is not None:
             # deflated observations make background deltas small again, so
             # the raw-magnitude burst threshold remains valid
@@ -375,6 +434,7 @@ class OnlineEngine:
     ) -> None:
         if not self.dedup.admit(t):
             result.stats.duplicates_suppressed += 1
+            self._emit(t, "duplicate_suppressed")
             return
         char = classification.key_char
         assert char is not None
@@ -384,9 +444,11 @@ class OnlineEngine:
             )
         )
         result.stats.keys_inferred += 1
+        self._emit(t, "key", char=char, from_split=from_split)
 
     def _field_event(self, result: OnlineResult, t: float, length: Optional[int]) -> None:
         result.stats.field_events += 1
+        self._emit(t, "field", length=length)
         if not self.track_corrections or length is None:
             return
         emitted = self.corrections.observe(
@@ -395,6 +457,7 @@ class OnlineEngine:
         result.stats.unattributed_growth = self.corrections.unattributed_growth
         for event in emitted:
             result.stats.deletions_detected += 1
+            self._emit(event.t, "correction")
             # delete the inferred key that actually preceded the backspace:
             # the most recent not-yet-deleted key inferred before the
             # decrease was first observed

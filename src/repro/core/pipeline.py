@@ -4,9 +4,12 @@ Ties together the full chain of the paper's Fig 4:
 
 * **Offline**: :func:`train_model` / :func:`train_store` run the bot on
   attacker-controlled device configurations and preload the model store.
-* **Online**: :class:`EavesdropAttack` samples the victim's KGSL device
-  file, recognizes the device configuration, and runs Algorithm 1 to
-  infer the credential.
+* **Online**: :class:`EavesdropAttack` builds a runtime session — a live
+  counter sampler feeding an :class:`AttackStage` (device recognition +
+  the Algorithm 1 engine) — and drives it on a
+  :class:`~repro.runtime.session.SessionRuntime`.  The same session spec
+  plugs into the monitoring service's mode switch and into
+  :func:`run_sessions`, which multiplexes many victims on one runtime.
 
 Typical use::
 
@@ -20,7 +23,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,17 +34,26 @@ from repro.core.device_recognition import DeviceRecognizer, RecognitionResult
 from repro.core.model_store import ModelStore
 from repro.core.offline import OfflineTrainer
 from repro.core.online import OnlineEngine, OnlineResult
-from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
+from repro.kgsl.device_file import DeviceClock, KgslDeviceFile, ProcessContext, open_kgsl
 from repro.kgsl.sampler import (
     DEFAULT_INTERVAL_S,
     IDLE,
     PerfCounterSampler,
     SystemLoad,
-    nonzero_deltas,
+)
+from repro.runtime import (
+    RuntimeTrace,
+    SamplerDeltaSource,
+    Session,
+    SessionRuntime,
 )
 from repro.workloads.background import render_slowdown, with_background_load
 from repro.workloads.behavior import typing_events
 from repro.workloads.typing_model import TypingModel
+
+#: Reads pulled per scheduling step by the attack-phase source; batches
+#: flow through the vectorized nonzero-delta extractor.
+ATTACK_SOURCE_CHUNK = 64
 
 
 def train_model(
@@ -123,6 +135,118 @@ class AttackResult:
         return self.online.inference_times_s
 
 
+class AttackStage:
+    """Device recognition + the Algorithm 1 engine as one runtime stage.
+
+    The stage consumes the session's nonzero-delta stream.  While the
+    model is unresolved it buffers deltas; once enough have arrived for
+    :class:`DeviceRecognizer` (or immediately, when recognition is
+    disabled or a model key is forced), it instantiates the engine,
+    replays the buffer through :meth:`OnlineEngine.feed`, and streams
+    from there on.  ``on_end`` closes the engine and publishes the
+    :class:`AttackResult` as the session's result.
+    """
+
+    name = "attack"
+
+    def __init__(
+        self,
+        attack: "EavesdropAttack",
+        kgsl: KgslDeviceFile,
+        sampler: PerfCounterSampler,
+        model_key: Optional[str] = None,
+    ) -> None:
+        self.attack = attack
+        self.kgsl = kgsl
+        self.sampler = sampler
+        self.forced_model_key = model_key
+        self.model_key: Optional[str] = None
+        self.recognition: Optional[RecognitionResult] = None
+        self.engine: Optional[OnlineEngine] = None
+        self._pending: List = []
+        self._recognize_after = (
+            DeviceRecognizer(attack.store).max_deltas
+            if model_key is None
+            and attack.recognize_device
+            and len(attack.store) > 1
+            else 0
+        )
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, session) -> None:
+        """Pick the classification model and spin up the engine."""
+        attack = self.attack
+        if self.forced_model_key is not None:
+            self.model_key = self.forced_model_key
+        elif self._recognize_after:
+            # narrow the candidates with the unprivileged chip-id query
+            from repro.kgsl.ioctl import (
+                IOCTL_KGSL_DEVICE_GETPROPERTY,
+                KGSL_PROP_DEVICE_INFO,
+                KgslDeviceGetProperty,
+            )
+
+            prop = KgslDeviceGetProperty(type=KGSL_PROP_DEVICE_INFO)
+            self.kgsl.ioctl(IOCTL_KGSL_DEVICE_GETPROPERTY, prop)
+            recognizer = DeviceRecognizer(attack.store)
+            self.recognition = recognizer.recognize(
+                self._pending, adreno_model=prop.value.adreno_model
+            )
+            self.model_key = self.recognition.model_key
+            session.trace.emit(
+                session.last_t,
+                session.id,
+                self.name,
+                "device_recognized",
+                model_key=self.model_key,
+                score=self.recognition.score,
+            )
+        else:
+            self.model_key = attack.store.keys()[0]
+        model = attack.store.get(self.model_key)
+        self.engine = OnlineEngine(
+            model,
+            interval_s=attack.interval_s,
+            detect_switches=attack.detect_switches,
+            track_corrections=attack.track_corrections,
+            recover_collisions=attack.recover_collisions,
+            trace=session.trace,
+            session=session.id,
+        )
+        self.engine.begin()
+        for buffered in self._pending:
+            self.engine.feed(buffered)
+        self._pending = []
+
+    # ------------------------------------------------------------------
+
+    def on_event(self, session, t: float, delta):
+        if self.engine is None:
+            self._pending.append(delta)
+            if len(self._pending) >= max(1, self._recognize_after):
+                self._resolve(session)
+        else:
+            self.engine.feed(delta)
+        return None
+
+    def on_end(self, session, t: float):
+        if self.engine is None and (self._pending or not self._recognize_after):
+            self._resolve(session)
+        if self.engine is None:
+            # recognition was required but the stream stayed empty
+            raise ValueError("no nonzero PC changes to recognize from")
+        online = self.engine.finish()
+        session.result = AttackResult(
+            online=online,
+            model_key=self.model_key,
+            recognition=self.recognition,
+            samples_taken=self.sampler.reads_issued,
+            reads_dropped=self.sampler.reads_dropped,
+        )
+        return None
+
+
 class EavesdropAttack:
     """The online attacking application."""
 
@@ -144,6 +268,37 @@ class EavesdropAttack:
         self.track_corrections = track_corrections
         self.recover_collisions = recover_collisions
 
+    def session_spec(
+        self,
+        trace: SessionTrace,
+        load: SystemLoad = IDLE,
+        seed: int = 99,
+        model_key: Optional[str] = None,
+        access_policy=None,
+        chunk: int = ATTACK_SOURCE_CHUNK,
+    ) -> Tuple[SamplerDeltaSource, List[AttackStage]]:
+        """Build the (source, stages) pair for one attack-mode session.
+
+        Opens a fresh KGSL fd on the victim timeline, wires up the 8 ms
+        sampler, and returns the runtime pieces; both
+        :meth:`run_on_trace` and the monitoring service's escalation
+        plug these into a :class:`SessionRuntime`.
+        """
+        rng = np.random.default_rng(seed)
+        kgsl = open_kgsl(
+            trace.timeline,
+            clock=DeviceClock(),
+            context=ProcessContext(),
+            access_policy=access_policy,
+            adreno_model=trace.config.gpu.model,
+        )
+        sampler = PerfCounterSampler(kgsl, interval_s=self.interval_s, rng=rng)
+        source = SamplerDeltaSource(
+            sampler, 0.0, trace.end_time_s, load=load, chunk=chunk
+        )
+        stage = AttackStage(self, kgsl, sampler, model_key=model_key)
+        return source, [stage]
+
     def run_on_trace(
         self,
         trace: SessionTrace,
@@ -151,6 +306,7 @@ class EavesdropAttack:
         seed: int = 99,
         model_key: Optional[str] = None,
         access_policy=None,
+        runtime_trace: Optional[RuntimeTrace] = None,
     ) -> AttackResult:
         """Sample the victim timeline and infer the typed credential.
 
@@ -160,53 +316,38 @@ class EavesdropAttack:
             seed: RNG seed for the sampler's scheduling jitter.
             model_key: skip recognition and force a specific model.
             access_policy: optional mitigation enforced at the device file.
+            runtime_trace: optional shared event log to record decisions in.
         """
-        rng = np.random.default_rng(seed)
-        clock = DeviceClock()
-        kgsl = open_kgsl(
-            trace.timeline,
-            clock=clock,
-            context=ProcessContext(),
-            access_policy=access_policy,
-            adreno_model=trace.config.gpu.model,
+        runtime = SessionRuntime(trace=runtime_trace)
+        source, stages = self.session_spec(
+            trace, load=load, seed=seed, model_key=model_key, access_policy=access_policy
         )
-        sampler = PerfCounterSampler(kgsl, interval_s=self.interval_s, rng=rng)
-        samples = sampler.sample_range(0.0, trace.end_time_s, load=load)
-        stream = nonzero_deltas(samples)
+        session = runtime.add_session(Session("attack", source, stages))
+        runtime.run()
+        return session.result
 
-        recognition: Optional[RecognitionResult] = None
-        if model_key is None:
-            if self.recognize_device and len(self.store) > 1:
-                # narrow the candidates with the unprivileged chip-id query
-                from repro.kgsl.ioctl import (
-                    IOCTL_KGSL_DEVICE_GETPROPERTY,
-                    KGSL_PROP_DEVICE_INFO,
-                    KgslDeviceGetProperty,
-                )
 
-                prop = KgslDeviceGetProperty(type=KGSL_PROP_DEVICE_INFO)
-                kgsl.ioctl(IOCTL_KGSL_DEVICE_GETPROPERTY, prop)
-                recognizer = DeviceRecognizer(self.store)
-                recognition = recognizer.recognize(
-                    stream, adreno_model=prop.value.adreno_model
-                )
-                model_key = recognition.model_key
-            else:
-                model_key = self.store.keys()[0]
-        model = self.store.get(model_key)
+def run_sessions(
+    attack: EavesdropAttack,
+    traces: Sequence[SessionTrace],
+    load: SystemLoad = IDLE,
+    seed: int = 99,
+    runtime_trace: Optional[RuntimeTrace] = None,
+) -> List[AttackResult]:
+    """Batched online phase: N victim sessions on one session runtime.
 
-        engine = OnlineEngine(
-            model,
-            interval_s=self.interval_s,
-            detect_switches=self.detect_switches,
-            track_corrections=self.track_corrections,
-            recover_collisions=self.recover_collisions,
+    Every trace becomes its own runtime session (own KGSL fd, own
+    scheduling RNG seeded ``seed + i``), all multiplexed on a single
+    virtual timeline in one process.  Results are byte-identical to
+    running each trace alone with the same seed — the scheduler
+    interleaves but never perturbs sessions.
+    """
+    runtime = SessionRuntime(trace=runtime_trace)
+    sessions = []
+    for i, trace in enumerate(traces):
+        source, stages = attack.session_spec(trace, load=load, seed=seed + i)
+        sessions.append(
+            runtime.add_session(Session(f"attack-{i}", source, stages))
         )
-        online = engine.process(stream)
-        return AttackResult(
-            online=online,
-            model_key=model_key,
-            recognition=recognition,
-            samples_taken=len(samples),
-            reads_dropped=sampler.reads_dropped,
-        )
+    runtime.run()
+    return [s.result for s in sessions]

@@ -1,15 +1,24 @@
 """The background monitoring service: the full Fig 4 online pipeline.
 
 The attack application "will spawn a monitoring process, which runs as an
-Android service in background" (Section 3.2).  The service has two modes:
+Android service in background" (Section 3.2).  The service is one
+runtime session with two modes:
 
 * **idle watch** — a cheap slow poll (4 Hz) of the counters, enough for
   :class:`~repro.core.launch.LaunchDetector` to spot the target app's
   launch, and practically free in power (Fig 26's negligible overhead
   while the victim is elsewhere);
-* **attack** — once the launch is confirmed, the full 8 ms sampling loop
-  plus device recognition and the Algorithm 1 engine, for as long as the
-  login screen is expected to be in use.
+* **attack** — once the launch is confirmed, the
+  :class:`~repro.core.launch.LaunchWatchStage` switches the session onto
+  the full 8 ms sampling source and the
+  :class:`~repro.core.pipeline.AttackStage` (device recognition plus the
+  Algorithm 1 engine), for as long as the login screen is expected to be
+  in use.
+
+Both modes are scheduled by the shared
+:class:`~repro.runtime.session.SessionRuntime` — the service owns no
+sampling loop of its own, and because the runtime pulls reads lazily,
+escalation really does stop the idle poll on the confirming read.
 
 Only the inference results leave the device ("Only the results of
 eavesdropping are sent back to the attacker"), which the
@@ -25,17 +34,22 @@ from typing import List, Optional
 import numpy as np
 
 from repro.android.device import SessionTrace
-from repro.core.launch import IDLE_POLL_INTERVAL_S, LaunchDetector, LaunchEvent
+from repro.core.launch import (
+    IDLE_POLL_INTERVAL_S,
+    LaunchDetector,
+    LaunchEvent,
+    LaunchWatchStage,
+)
 from repro.core.model_store import ModelStore
-from repro.core.pipeline import EavesdropAttack
+from repro.core.pipeline import AttackResult, EavesdropAttack
 from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
 from repro.kgsl.sampler import (
     DEFAULT_INTERVAL_S,
     IDLE,
     PerfCounterSampler,
     SystemLoad,
-    nonzero_deltas,
 )
+from repro.runtime import RuntimeTrace, SamplerDeltaSource, Session, SessionRuntime
 
 
 @dataclass
@@ -86,6 +100,7 @@ class MonitoringService:
         load: SystemLoad = IDLE,
         seed: int = 1234,
         watch_model_key: Optional[str] = None,
+        runtime_trace: Optional[RuntimeTrace] = None,
     ) -> ServiceReport:
         """Run the service over a victim session from boot to end.
 
@@ -97,14 +112,15 @@ class MonitoringService:
             watch_model_key: model used by the launch detector (defaults
                 to the first stored model; any target's model works since
                 detection keys on the generic launch-burst + field shape).
+            runtime_trace: optional shared event log to record the idle
+                polls, the mode switch and every engine decision in.
         """
         rng = np.random.default_rng(seed)
 
         # --- idle watch: slow polls until the launch is confirmed -------
-        clock = DeviceClock()
         kgsl = open_kgsl(
             trace.timeline,
-            clock=clock,
+            clock=DeviceClock(),
             context=ProcessContext(),
             adreno_model=trace.config.gpu.model,
         )
@@ -114,38 +130,49 @@ class MonitoringService:
         watch_key = watch_model_key or self.store.keys()[0]
         detector = LaunchDetector(self.store.get(watch_key))
 
-        launch: Optional[LaunchEvent] = None
-        samples = watcher.sample_range(0.0, trace.end_time_s, load=load)
-        for delta in nonzero_deltas(samples):
-            launch = detector.observe(delta)
-            if launch is not None:
-                break
-        if launch is None:
-            return ServiceReport(
-                launch_detected_at=None,
-                inferred_text="",
-                idle_reads=len(samples),
-            )
-        # watch reads actually spent before escalating
-        idle_reads = sum(1 for sample in samples if sample.t <= launch.t)
-
-        # --- attack: fast sampling from the detection point --------------
         attack = EavesdropAttack(
             self.store,
             interval_s=self.attack_interval_s,
             recognize_device=len(self.store) > 1,
         )
-        # a fresh fd and clock: the attack samples the remaining window
-        attack_result = attack.run_on_trace(
-            _window(trace, launch.t, self.attack_window_s), load=load, seed=seed + 1
+        launch_info = {"event": None, "idle_reads": 0}
+
+        def escalate(session: Session, event: LaunchEvent) -> None:
+            """Idle watch → attack mode: swap the session's source and
+            stages; the rest of the slow poll is abandoned unread."""
+            launch_info["event"] = event
+            launch_info["idle_reads"] = watcher.reads_issued
+            window = _window(trace, event.t, self.attack_window_s)
+            # a fresh fd and clock: the attack samples the remaining window
+            source, stages = attack.session_spec(window, load=load, seed=seed + 1)
+            session.switch_mode(source, stages)
+
+        # the idle watch streams read-by-read (chunk=1) so the mode
+        # switch lands exactly on the confirming poll
+        source = SamplerDeltaSource(
+            watcher, 0.0, trace.end_time_s, load=load, chunk=1
         )
+        stage = LaunchWatchStage(detector, on_launch=escalate)
+
+        runtime = SessionRuntime(trace=runtime_trace)
+        session = runtime.add_session(Session("service", source, [stage]))
+        runtime.run()
+
+        launch: Optional[LaunchEvent] = launch_info["event"]
+        if launch is None:
+            return ServiceReport(
+                launch_detected_at=None,
+                inferred_text="",
+                idle_reads=watcher.reads_issued,
+            )
+        attack_result: AttackResult = session.result
         return ServiceReport(
             launch_detected_at=launch.t,
             inferred_text=attack_result.text,
             key_times=attack_result.online.key_times(),
             deletions_detected=attack_result.online.stats.deletions_detected,
             model_key=attack_result.model_key,
-            idle_reads=idle_reads,
+            idle_reads=launch_info["idle_reads"],
             attack_reads=attack_result.samples_taken,
         )
 

@@ -19,7 +19,7 @@ device file, including the scheduling realities the paper measures:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -170,11 +170,17 @@ class PerfCounterSampler:
             return None
         return delay
 
-    def sample_range(
+    def iter_samples(
         self, t0: float, t1: float, load: SystemLoad = IDLE
-    ) -> List[PcSample]:
-        """Run the sampling loop over ``[t0, t1)``."""
-        samples: List[PcSample] = []
+    ) -> Iterator[PcSample]:
+        """The sampling loop over ``[t0, t1)``, one read at a time.
+
+        This is the streaming form consumed by the session runtime: each
+        ``next()`` issues (at most) one counter read, so a downstream
+        stage that stops early — a launch detector escalating to attack
+        mode, say — really does stop the polling, exactly like the
+        Android service it models.
+        """
         nominal = t0
         last_t = -1.0
         while nominal < t1:
@@ -188,10 +194,15 @@ class PerfCounterSampler:
                 last_t = read_t
                 self.device_file.clock.set(max(self.device_file.clock.now, read_t))
                 values = self.read_once()
-                samples.append(PcSample(nominal_t=nominal, t=read_t, values=values))
                 self.reads_issued += 1
+                yield PcSample(nominal_t=nominal, t=read_t, values=values)
             nominal += self.interval_s
-        return samples
+
+    def sample_range(
+        self, t0: float, t1: float, load: SystemLoad = IDLE
+    ) -> List[PcSample]:
+        """Run the whole sampling loop over ``[t0, t1)`` and materialize it."""
+        return list(self.iter_samples(t0, t1, load=load))
 
 
 def deltas(samples: Sequence[PcSample]) -> List[PcDelta]:
@@ -206,6 +217,37 @@ def deltas(samples: Sequence[PcSample]) -> List[PcDelta]:
 def nonzero_deltas(samples: Sequence[PcSample]) -> List[PcDelta]:
     """Only the deltas where some counter moved (screen changed)."""
     return [d for d in deltas(samples) if d]
+
+
+def nonzero_deltas_vectorized(
+    samples: Sequence[PcSample], prev: Optional[PcSample] = None
+) -> List[PcDelta]:
+    """Vectorized :func:`nonzero_deltas`: one numpy diff over the batch.
+
+    Produces byte-identical :class:`PcDelta` objects (same counter order,
+    same wraparound handling as :func:`repro.gpu.counters.delta`) but
+    differences and filters all samples in one pass, which is what keeps
+    a 100-session batch runtime out of per-pair Python loops.  ``prev``
+    optionally supplies the sample preceding ``samples[0]`` so chunked
+    callers can difference across chunk boundaries.
+    """
+    chain: List[PcSample] = ([prev] if prev is not None else []) + list(samples)
+    if len(chain) < 2:
+        return []
+    counter_ids = list(chain[0].values.keys())
+    matrix = np.array(
+        [[s.values[cid] for cid in counter_ids] for s in chain], dtype=np.int64
+    )
+    diffs = np.diff(matrix, axis=0)
+    np.add(diffs, pc.CounterBank.WRAP, out=diffs, where=diffs < 0)
+    keep = np.flatnonzero(diffs.any(axis=1))
+    out: List[PcDelta] = []
+    for row in keep:
+        values = {
+            cid: int(v) for cid, v in zip(counter_ids, diffs[row])
+        }
+        out.append(PcDelta(t=chain[row + 1].t, prev_t=chain[row].t, values=values))
+    return out
 
 
 @dataclass(frozen=True)

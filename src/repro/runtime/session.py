@@ -1,0 +1,212 @@
+"""The session runtime: N concurrent eavesdropping sessions, one timeline.
+
+The paper's online phase is a stream — the monitoring service reads
+counters every 8 ms and feeds nonzero deltas to Algorithm 1 as they
+appear.  :class:`SessionRuntime` is that loop, generalized: every victim
+session is a :class:`Session` (an :class:`~repro.runtime.source.EventSource`
+plus a chain of :class:`Stage` objects), and the runtime merges all
+sessions onto one :class:`~repro.runtime.clock.VirtualClock` timeline,
+always advancing the session whose stream is furthest behind.
+
+Scheduling is **pull-then-dispatch**: the runtime never looks ahead into
+a source, because pulling a sample *is* the side effect (an ioctl read,
+an RNG draw, a power-model charge).  The heap is keyed by each session's
+last dispatched event time, which makes the global dispatch order
+near-sorted — exact within a session, off by at most one in-flight event
+across sessions, which is all independent victim devices need.
+
+A stage can replace its session's source and stage chain mid-stream via
+:meth:`Session.switch_mode`; the swap is applied after the current
+dispatch completes.  This is how the monitoring service escalates from
+the 4 Hz idle watch to the 8 ms attack loop without a hand-rolled outer
+loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.source import EventSource, SourceEvent
+from repro.runtime.trace import RuntimeTrace
+
+
+class Stage(Protocol):
+    """One processing step in a session's chain.
+
+    ``on_event`` receives each upstream event and may return events for
+    the next stage (or ``None`` to consume).  ``on_end`` is called once
+    when the session's source is exhausted; its emissions also flow
+    downstream before the later stages' own ``on_end``.
+    """
+
+    name: str
+
+    def on_event(
+        self, session: "Session", t: float, payload: object
+    ) -> Optional[Iterable[SourceEvent]]: ...
+
+    def on_end(
+        self, session: "Session", t: float
+    ) -> Optional[Iterable[SourceEvent]]: ...
+
+
+class Session:
+    """One victim session scheduled by the runtime."""
+
+    def __init__(
+        self,
+        session_id: str,
+        source: EventSource,
+        stages: Sequence[Stage],
+        on_finish: Optional[Callable[["Session"], None]] = None,
+    ) -> None:
+        self.id = session_id
+        self.source = source
+        self.stages: List[Stage] = list(stages)
+        self.on_finish = on_finish
+        self.result: object = None
+        self.finished = False
+        self.last_t = float(getattr(source, "start_t", 0.0))
+        self.events_dispatched = 0
+        self.mode_switches = 0
+        self.runtime: Optional["SessionRuntime"] = None
+        self._iter: Optional[Iterator[SourceEvent]] = None
+        self._replacement: Optional[Tuple[EventSource, List[Stage]]] = None
+
+    # -- stage-facing API ----------------------------------------------
+
+    @property
+    def trace(self) -> RuntimeTrace:
+        assert self.runtime is not None, "session is not attached to a runtime"
+        return self.runtime.trace
+
+    def switch_mode(self, source: EventSource, stages: Sequence[Stage]) -> None:
+        """Replace this session's source and stage chain.
+
+        Takes effect after the current dispatch; the remainder of the old
+        source is abandoned unread (its sampler stops polling).
+        """
+        self._replacement = (source, list(stages))
+
+    # -- runtime-facing internals --------------------------------------
+
+    def _events(self) -> Iterator[SourceEvent]:
+        if self._iter is None:
+            self._iter = iter(self.source.events())
+        return self._iter
+
+    def _apply_switch(self) -> bool:
+        if self._replacement is None:
+            return False
+        self.source, self.stages = self._replacement
+        self._replacement = None
+        self._iter = None
+        self.mode_switches += 1
+        return True
+
+
+_END = object()
+
+
+class SessionRuntime:
+    """Schedules N concurrent sessions on one virtual timeline."""
+
+    def __init__(
+        self,
+        clock: Optional[VirtualClock] = None,
+        trace: Optional[RuntimeTrace] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.trace = trace if trace is not None else RuntimeTrace()
+        self.sessions: List[Session] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+
+    def add_session(self, session: Session) -> Session:
+        session.runtime = self
+        self.sessions.append(session)
+        return session
+
+    def session(self, session_id: str) -> Session:
+        for s in self.sessions:
+            if s.id == session_id:
+                return s
+        raise KeyError(session_id)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RuntimeTrace:
+        """Drain every session; returns the shared event log."""
+        heap: List[Tuple[float, int, Session]] = []
+        for session in self.sessions:
+            if not session.finished:
+                self.trace.emit(session.last_t, session.id, "runtime", "session_start")
+                self._push(heap, session)
+        while heap:
+            _, _, session = heapq.heappop(heap)
+            event = next(session._events(), _END)
+            if event is _END:
+                self._end_session(session)
+                if session._apply_switch():
+                    # a stage escalated exactly at end-of-stream
+                    self.trace.emit(
+                        session.last_t, session.id, "runtime", "mode_switch"
+                    )
+                    self._push(heap, session)
+                    continue
+                self._finish(session)
+                continue
+            t, payload = event
+            self.clock.advance_to(t)
+            session.last_t = t
+            session.events_dispatched += 1
+            self._dispatch(session, t, payload)
+            if session._apply_switch():
+                self.trace.emit(t, session.id, "runtime", "mode_switch")
+            self._push(heap, session)
+        return self.trace
+
+    # ------------------------------------------------------------------
+
+    def _push(self, heap: List[Tuple[float, int, Session]], session: Session) -> None:
+        self._seq += 1
+        heapq.heappush(heap, (session.last_t, self._seq, session))
+
+    def _dispatch(self, session: Session, t: float, payload: object) -> None:
+        items: List[SourceEvent] = [(t, payload)]
+        for stage in session.stages:
+            emitted: List[SourceEvent] = []
+            for item_t, item in items:
+                out = stage.on_event(session, item_t, item)
+                if out:
+                    emitted.extend(out)
+            items = emitted
+            if not items:
+                break
+
+    def _end_session(self, session: Session) -> None:
+        t = session.last_t
+        for i, stage in enumerate(session.stages):
+            out = stage.on_end(session, t)
+            if not out:
+                continue
+            # late emissions flow through the rest of the chain first
+            items = list(out)
+            for later in session.stages[i + 1 :]:
+                emitted: List[SourceEvent] = []
+                for item_t, item in items:
+                    nxt = later.on_event(session, item_t, item)
+                    if nxt:
+                        emitted.extend(nxt)
+                items = emitted
+                if not items:
+                    break
+
+    def _finish(self, session: Session) -> None:
+        session.finished = True
+        self.trace.emit(session.last_t, session.id, "runtime", "session_end")
+        if session.on_finish is not None:
+            session.on_finish(session)

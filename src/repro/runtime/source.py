@@ -1,0 +1,128 @@
+"""Event sources: where a session's timestamped payloads come from.
+
+An :class:`EventSource` is anything that can be turned into an iterator
+of ``(t, payload)`` pairs in non-decreasing ``t`` order.  The runtime
+pulls from sources *lazily* — one event per scheduling step — so a
+source backed by a live sampler only issues the counter reads that are
+actually consumed (a mode switch abandons the rest, exactly like the
+Android service dropping its idle poll when it escalates).
+
+:class:`SamplerDeltaSource` is the production source: it drives
+:meth:`~repro.kgsl.sampler.PerfCounterSampler.iter_samples` and yields
+only the nonzero counter deltas — the attack's raw event stream.  With
+``chunk > 1`` it pulls reads in batches and differences them with the
+vectorized extractor, trading mode-switch granularity for throughput
+(the multi-session batch path uses this; the monitoring service's idle
+watch keeps ``chunk=1`` so escalation happens on the confirming read).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.kgsl.sampler import (
+    IDLE,
+    PcDelta,
+    PcSample,
+    PerfCounterSampler,
+    SystemLoad,
+    nonzero_deltas_vectorized,
+)
+from repro.gpu import counters as pc
+
+#: One timestamped payload flowing through a session's stage chain.
+SourceEvent = Tuple[float, object]
+
+
+@runtime_checkable
+class EventSource(Protocol):
+    """A stream of timestamped payloads in non-decreasing time order."""
+
+    def events(self) -> Iterator[SourceEvent]: ...
+
+
+class IterableSource:
+    """An :class:`EventSource` over precomputed ``(t, payload)`` pairs or
+    payloads with a ``.t`` attribute (e.g. a list of ``PcDelta``)."""
+
+    def __init__(self, items: Iterable) -> None:
+        self._items = items
+
+    def events(self) -> Iterator[SourceEvent]:
+        for item in self._items:
+            if isinstance(item, tuple):
+                yield item
+            else:
+                yield (float(item.t), item)
+
+
+class SamplerDeltaSource:
+    """Streams nonzero PC deltas from a live :class:`PerfCounterSampler`.
+
+    Args:
+        sampler: the counter-reading service (owns the KGSL fd and RNG).
+        t0, t1: sampling window.
+        load: concurrent CPU/GPU load during the window.
+        chunk: reads pulled per step.  ``1`` differences sample pairs
+            incrementally; larger values batch reads through the
+            vectorized extractor.
+    """
+
+    def __init__(
+        self,
+        sampler: PerfCounterSampler,
+        t0: float,
+        t1: float,
+        load: SystemLoad = IDLE,
+        chunk: int = 1,
+    ) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.sampler = sampler
+        self.t0 = t0
+        self.t1 = t1
+        self.load = load
+        self.chunk = chunk
+        self.deltas_emitted = 0
+
+    @property
+    def start_t(self) -> float:
+        return self.t0
+
+    @property
+    def reads_issued(self) -> int:
+        """Counter reads actually performed so far (dropped reads excluded)."""
+        return self.sampler.reads_issued
+
+    def events(self) -> Iterator[SourceEvent]:
+        ticks = self.sampler.iter_samples(self.t0, self.t1, load=self.load)
+        if self.chunk == 1:
+            yield from self._incremental(ticks)
+        else:
+            yield from self._chunked(ticks)
+
+    def _incremental(self, ticks: Iterator[PcSample]) -> Iterator[SourceEvent]:
+        prev: Optional[PcSample] = None
+        for sample in ticks:
+            if prev is not None:
+                diff = pc.delta(prev.values, sample.values)
+                delta = PcDelta(t=sample.t, prev_t=prev.t, values=diff)
+                if delta:
+                    self.deltas_emitted += 1
+                    yield (delta.t, delta)
+            prev = sample
+
+    def _chunked(self, ticks: Iterator[PcSample]) -> Iterator[SourceEvent]:
+        prev: Optional[PcSample] = None
+        while True:
+            batch: List[PcSample] = []
+            for sample in ticks:
+                batch.append(sample)
+                if len(batch) >= self.chunk:
+                    break
+            if not batch:
+                return
+            for delta in nonzero_deltas_vectorized(batch, prev=prev):
+                self.deltas_emitted += 1
+                yield (delta.t, delta)
+            prev = batch[-1]

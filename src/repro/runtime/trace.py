@@ -1,0 +1,101 @@
+"""Structured event log of a runtime execution.
+
+Everything the online pipeline decides — every sample delta dispatched,
+every Algorithm 1 verdict (duplication suppressed, split merged, app
+switch suppressed, correction applied), every mode transition of the
+monitoring service — is recorded here as one :class:`RuntimeEvent`.
+EXPERIMENTS figures and debugging sessions read this single log instead
+of scraping ad-hoc per-object statistics.
+
+Two views are maintained:
+
+* **counters** — exact per-``(stage, kind)`` tallies, always complete;
+* **events** — the event objects themselves, kept in a bounded ring so a
+  100-session batch cannot grow memory without limit (``events_dropped``
+  says how many fell off the front).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One timestamped decision or observation in the runtime."""
+
+    t: float
+    session: str
+    stage: str
+    kind: str
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+
+class RuntimeTrace:
+    """Append-only event log with exact per-stage counters.
+
+    Args:
+        capacity: maximum number of event objects retained (the counters
+            are never truncated).  ``None`` keeps everything.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self.events: Deque[RuntimeEvent] = deque(maxlen=capacity)
+        self.counters: Dict[Tuple[str, str], int] = {}
+        self.events_dropped = 0
+
+    # ------------------------------------------------------------------
+
+    def emit(
+        self, t: float, session: str, stage: str, kind: str, **detail: object
+    ) -> RuntimeEvent:
+        """Record one event; returns it for convenience."""
+        event = RuntimeEvent(t=t, session=session, stage=stage, kind=kind, detail=detail)
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.events_dropped += 1
+        self.events.append(event)
+        key = (stage, kind)
+        self.counters[key] = self.counters.get(key, 0) + 1
+        return event
+
+    # ------------------------------------------------------------------
+
+    def count(self, kind: Optional[str] = None, stage: Optional[str] = None) -> int:
+        """Exact tally over the whole run (ring truncation never applies)."""
+        return sum(
+            n
+            for (s, k), n in self.counters.items()
+            if (stage is None or s == stage) and (kind is None or k == kind)
+        )
+
+    def select(
+        self,
+        kind: Optional[str] = None,
+        session: Optional[str] = None,
+        stage: Optional[str] = None,
+    ) -> List[RuntimeEvent]:
+        """Retained events matching the given filters, in dispatch order."""
+        return [
+            e
+            for e in self.events
+            if (kind is None or e.kind == kind)
+            and (session is None or e.session == session)
+            and (stage is None or e.stage == stage)
+        ]
+
+    def stage_counters(self, stage: str) -> Dict[str, int]:
+        """Per-kind counts for one stage."""
+        return {k: n for (s, k), n in self.counters.items() if s == stage}
+
+    def summary(self) -> Dict[str, int]:
+        """Flat ``stage.kind -> count`` mapping, sorted for stable output."""
+        return {
+            f"{stage}.{kind}": self.counters[(stage, kind)]
+            for stage, kind in sorted(self.counters)
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -44,6 +44,13 @@ class TestExamples:
         assert "press:w" in proc.stdout
         assert "summary:" in proc.stdout
 
+    def test_multi_session_runtime(self):
+        proc = run_example("multi_session_runtime.py", "4", "pw1x5")
+        assert proc.returncode == 0, proc.stderr
+        assert "exact matches" in proc.stdout
+        assert "sessions/s" in proc.stdout
+        assert "engine decisions" in proc.stdout
+
     def test_keyboard_survey(self):
         proc = run_example("keyboard_survey.py", "gboard")
         assert proc.returncode == 0, proc.stderr

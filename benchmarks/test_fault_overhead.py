@@ -1,0 +1,71 @@
+"""Fault-machinery overhead: disabled injection must be (nearly) free.
+
+The fault subsystem (``repro.faults``) promises that with no plan
+installed the sampling fast path is hook-free: ``FaultPlan.injector``
+returns ``None`` for a disabled plan, so the sampler and device file
+never consult an injector.  This bench pins the cost of having the
+machinery *available but off* at under 5 % of a pre-fault-subsystem run,
+and reports the cost of the mild profile for context.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.core.model_store import ModelStore
+from repro.core.pipeline import EavesdropAttack, simulate_credential_entry, train_model
+from repro.faults import FaultPlan
+
+pytestmark = pytest.mark.bench
+
+CREDENTIAL = "hunter2pw"
+ROUNDS = 7
+
+
+@pytest.fixture(scope="module")
+def store(config, chase):
+    store = ModelStore()
+    store.add(train_model(config, chase, seed=7))
+    return store
+
+
+@pytest.fixture(scope="module")
+def trace(config, chase):
+    return simulate_credential_entry(config, chase, CREDENTIAL, seed=1)
+
+
+def median_runtime(store, trace, fault_plan):
+    attack = EavesdropAttack(store, recognize_device=False, fault_plan=fault_plan)
+    times = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        attack.run_on_trace(trace, seed=101)
+        times.append(time.perf_counter() - started)
+    return statistics.median(times)
+
+
+def test_disabled_faults_add_under_5_percent(benchmark, store, trace):
+    baseline = median_runtime(store, trace, fault_plan=None)
+    disabled = run_once(
+        benchmark, lambda: median_runtime(store, trace, FaultPlan.from_profile("none"))
+    )
+    overhead = disabled / baseline - 1.0
+    print(
+        f"\nfault machinery off: baseline {baseline * 1e3:.1f} ms, "
+        f"disabled-plan {disabled * 1e3:.1f} ms ({overhead:+.1%})"
+    )
+    assert overhead < 0.05, "disabled fault injection must stay within 5% of baseline"
+
+
+def test_mild_profile_overhead_is_bounded(store, trace):
+    baseline = median_runtime(store, trace, fault_plan=None)
+    mild = median_runtime(store, trace, FaultPlan.from_profile("mild", seed=0))
+    print(
+        f"\nmild profile: baseline {baseline * 1e3:.1f} ms, "
+        f"mild {mild * 1e3:.1f} ms ({mild / baseline - 1.0:+.1%})"
+    )
+    # retries, re-registration and jitter cost real work, but the
+    # resilient path must stay the same order of magnitude
+    assert mild < baseline * 3.0

@@ -13,17 +13,19 @@ Usage:
 
 import numpy as np
 
-from repro import (
+from repro.api import (
     AMEX,
     CHASE,
+    AttackConfig,
     DeviceConfig,
-    EavesdropAttack,
+    attack,
+    credential_batch,
+    edit_distance,
     keyboard,
     phone,
-    simulate_credential_entry,
-    train_store,
+    simulate,
+    train,
 )
-from repro.workloads.credentials import credential_batch
 
 
 VICTIMS = [
@@ -41,14 +43,14 @@ def config_for(phone_name: str, keyboard_name: str) -> DeviceConfig:
 def main() -> None:
     print("[offline] training one model per (configuration, app) ...")
     pairs = [(config_for(p, k), app) for p, k, app in VICTIMS]
-    store = train_store(pairs, seed=11)
+    cfg = AttackConfig(train_seed=11, recognize_device=True)
+    store = train(pairs, config=cfg)
     print(
         f"[offline] preloaded store: {len(store)} models, "
         f"{store.total_size_bytes() / 1024:.1f} KB total "
         f"(avg {store.average_size_bytes() / 1024:.2f} KB per model)"
     )
 
-    attack = EavesdropAttack(store, recognize_device=True)
     rng = np.random.default_rng(5)
 
     stolen = 0
@@ -57,8 +59,8 @@ def main() -> None:
     ):
         print(f"\n--- victim {i + 1}: {config.phone.display_name} / "
               f"{config.keyboard.display_name} / {app.display_name} ---")
-        trace = simulate_credential_entry(config, app, credential, seed=500 + i)
-        result = attack.run_on_trace(trace, seed=800 + i)
+        trace = simulate(config, app, credential, seed=500 + i)
+        result = attack(store, trace, seed=800 + i, config=cfg)
 
         expected_key = f"{config.config_key()}/{app.name}"
         recognized = "correct" if result.model_key == expected_key else "WRONG"
@@ -71,8 +73,6 @@ def main() -> None:
             stolen += 1
             print("outcome            : credential stolen verbatim")
         else:
-            from repro.analysis.metrics import edit_distance
-
             print(
                 f"outcome            : {edit_distance(result.text, credential)} "
                 "error(s) — recoverable with a few guesses"

@@ -13,11 +13,15 @@ import sys
 
 import numpy as np
 
-from repro import CHASE, KEYBOARDS, default_config
-from repro.analysis.experiments import cached_model, run_per_key_sweep
-from repro.core import features
-from repro.gpu import counters as pc
-from repro.workloads.credentials import character_group
+from repro.api import (
+    CHASE,
+    KEYBOARDS,
+    cached_model,
+    character_group,
+    counters as pc,
+    default_config,
+    run_per_key_sweep,
+)
 
 
 def survey_keyboard(name: str) -> None:

@@ -14,13 +14,19 @@ Usage:
     python examples/mitigation_evaluation.py
 """
 
-from repro import CHASE, PNC, default_config, simulate_credential_entry
-from repro.analysis.experiments import single_model_attack
-from repro.analysis.metrics import align
-from repro.kgsl.ioctl import IoctlError
-from repro.mitigations.access_control import LocalOnlyPolicy, RbacPolicy
-from repro.mitigations.obfuscation import CounterObfuscationPolicy
-from repro.mitigations.popup_disable import config_with_popups_disabled
+from repro.api import (
+    CHASE,
+    PNC,
+    CounterObfuscationPolicy,
+    IoctlError,
+    LocalOnlyPolicy,
+    RbacPolicy,
+    align,
+    config_with_popups_disabled,
+    default_config,
+    simulate_credential_entry,
+    single_model_attack,
+)
 
 CREDENTIAL = "S3cur3&Sound"
 

@@ -15,15 +15,14 @@ Usage:
 import sys
 import time
 
-from repro import (
+from repro.api import (
     CHASE,
-    EavesdropAttack,
-    ModelStore,
+    AttackConfig,
     RuntimeTrace,
     default_config,
     run_sessions,
-    simulate_credential_entry,
-    train_model,
+    simulate,
+    train,
 )
 
 
@@ -37,21 +36,19 @@ def main() -> None:
     print(f"sessions      : {n_sessions} concurrent, one runtime\n")
 
     print("offline phase: training the classification model ...")
-    model = train_model(config, CHASE)
-    store = ModelStore()
-    store.add(model)
-    attack = EavesdropAttack(store, recognize_device=False)
+    cfg = AttackConfig(recognize_device=False)
+    store = train([(config, CHASE)], config=cfg)
 
     print("victim phase: compiling one GPU trace per session ...")
     traces = [
-        simulate_credential_entry(config, CHASE, credential, seed=100 + i)
+        simulate(config, CHASE, credential, seed=100 + i)
         for i in range(n_sessions)
     ]
 
     print("online phase: streaming all sessions through the runtime ...\n")
     runtime_trace = RuntimeTrace(capacity=256)
     started = time.perf_counter()
-    results = run_sessions(attack, traces, seed=500, runtime_trace=runtime_trace)
+    results = run_sessions(store, traces, seed=500, config=cfg, runtime_trace=runtime_trace)
     elapsed = time.perf_counter() - started
 
     exact = 0

@@ -18,13 +18,13 @@ Usage:
 import sys
 import time
 
-from repro import (
+from repro.api import (
     CHASE,
-    EavesdropAttack,
-    ModelStore,
+    AttackConfig,
+    attack,
     default_config,
-    simulate_credential_entry,
-    train_model,
+    simulate,
+    train,
 )
 
 
@@ -40,7 +40,9 @@ def main() -> None:
 
     print("[offline] training the classification model on the attacker's device ...")
     t0 = time.perf_counter()
-    model = train_model(config, CHASE, seed=7)
+    cfg = AttackConfig(recognize_device=False)
+    store = train([(config, CHASE)], config=cfg)
+    model = store.get(store.keys()[0])
     print(
         f"[offline] {len(model.key_labels)} key classes, "
         f"{len(model.labels) - len(model.key_labels)} reject classes, "
@@ -48,26 +50,22 @@ def main() -> None:
         f"trained in {time.perf_counter() - t0:.1f}s"
     )
 
-    store = ModelStore()
-    store.add(model)
-    attack = EavesdropAttack(store, recognize_device=False)
-
     print("[victim ] compiling the credential-entry session ...")
-    trace = simulate_credential_entry(config, CHASE, credential, seed=42)
+    trace = simulate(config, CHASE, credential, seed=42)
     print(
         f"[victim ] {len(trace.timeline.frames)} GPU frames over "
         f"{trace.end_time_s:.1f}s of screen time"
     )
 
     print("[online ] sampling GPU performance counters every 8 ms ...")
-    result = attack.run_on_trace(trace, seed=99)
+    result = attack(store, trace, seed=99, config=cfg)
 
     print()
     print(f"inferred credential : {result.text!r}")
     print(f"ground truth        : {credential!r}")
     verdict = "EXACT MATCH" if result.text == credential else "partial"
     print(f"outcome             : {verdict}")
-    stats = result.online.stats
+    stats = result.stats
     print(
         f"stats               : {stats.keys_inferred} keys inferred, "
         f"{stats.duplicates_suppressed} duplicates suppressed, "

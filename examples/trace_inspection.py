@@ -14,12 +14,20 @@ import sys
 
 import numpy as np
 
-from repro import CHASE, default_config, train_model
-from repro.analysis.traces import TraceSummary, annotate, render_trace
-from repro.android.device import VictimDevice
-from repro.android.events import BackspacePress, KeyPress
-from repro.kgsl.device_file import DeviceClock, open_kgsl
-from repro.kgsl.sampler import PerfCounterSampler
+from repro.api import (
+    CHASE,
+    BackspacePress,
+    DeviceClock,
+    KeyPress,
+    PerfCounterSampler,
+    TraceSummary,
+    VictimDevice,
+    annotate,
+    default_config,
+    open_kgsl,
+    render_trace,
+    train_model,
+)
 
 
 def main() -> None:

@@ -7,19 +7,16 @@ device-file interface, Android UI scenes and keyboards — and implements
 the attack itself: offline model training, online Algorithm 1 inference,
 app-switch detection and correction tracking.
 
-Quickstart::
+The stable, supported surface is :mod:`repro.api` — facade functions
+plus a typed :class:`~repro.api.AttackConfig`.  Quickstart::
 
-    import numpy as np
-    from repro import (
-        CHASE, default_config, train_store, EavesdropAttack,
-        simulate_credential_entry,
-    )
+    from repro.api import CHASE, AttackConfig, attack, default_config, simulate, train
 
     config = default_config()
-    store = train_store([(config, CHASE)])
-    attack = EavesdropAttack(store)
-    trace = simulate_credential_entry(config, CHASE, "hunter2secret", seed=1)
-    result = attack.run_on_trace(trace)
+    cfg = AttackConfig(recognize_device=False)
+    store = train([(config, CHASE)], config=cfg)
+    trace = simulate(config, CHASE, "hunter2secret", seed=1)
+    result = attack(store, trace, config=cfg)
     print(result.text)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -56,6 +53,8 @@ from repro.android.os_config import (
 )
 from repro.analysis.keystroke_dynamics import TypistIdentifier, timing_features
 from repro.analysis.metrics import AccuracyReport, align, edit_distance
+from repro.core.results import SessionResult
+from repro.faults import FAULT_PROFILE_ENV, FaultInjector, FaultPlan, FaultStats
 from repro.core.classifier import ClassificationModel, build_model
 from repro.core.guessing import CandidateGenerator
 from repro.core.launch import LaunchDetector
@@ -108,7 +107,11 @@ __all__ = [
     "EXPERIAN",
     "EXPERIAN_WEB",
     "EavesdropAttack",
+    "FAULT_PROFILE_ENV",
     "FIDELITY",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "KEYBOARDS",
     "KGSL_DEVICE_PATH",
     "KeyboardSpec",
@@ -131,6 +134,7 @@ __all__ = [
     "SELECTED_COUNTERS",
     "SamplerDeltaSource",
     "Session",
+    "SessionResult",
     "SessionRuntime",
     "SessionTrace",
     "SystemLoad",

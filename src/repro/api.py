@@ -1,0 +1,385 @@
+"""The stable public API of the reproduction.
+
+Everything an application, example, or the CLI needs lives here — one
+flat namespace with four facade functions, one unified configuration
+object, and re-exports of the supporting types:
+
+* :func:`train` — offline phase over (device config, app) pairs;
+* :func:`attack` — online phase against one victim session trace;
+* :func:`run_sessions` — the batched online phase (N victims, one
+  session runtime);
+* :func:`monitor` — the full background-service pipeline (idle watch,
+  launch detection, attack escalation);
+* :func:`simulate` — compile a victim credential-entry session;
+* :class:`AttackConfig` — every tunable of the pipeline in one
+  serializable dataclass (sampler cadence, engine toggles, service
+  windows, system load, fault plan).
+
+Import stability contract: ``examples/`` and ``repro.cli`` import only
+from this module (enforced by a test), so internal reorganizations of
+``repro.core`` / ``repro.runtime`` never break downstream code.  All
+run-level results satisfy :class:`~repro.core.results.SessionResult` —
+the shared ``keys`` / ``text`` / ``stats`` / ``trace`` accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro import faults
+from repro.faults import FAULT_PROFILE_ENV, FaultInjector, FaultPlan, FaultStats
+from repro.android.apps import (
+    AMEX,
+    CHASE,
+    CHASE_WEB,
+    EXPERIAN,
+    EXPERIAN_WEB,
+    FIDELITY,
+    MYFICO,
+    NATIVE_APPS,
+    PNC,
+    SCHWAB,
+    SCHWAB_WEB,
+    TARGET_APPS,
+    AppSpec,
+    app,
+)
+from repro.android.device import SessionTrace, VictimDevice
+from repro.android.events import BackspacePress, KeyPress
+from repro.android.keyboard import KEYBOARDS, KeyboardSpec, keyboard
+from repro.android.os_config import (
+    ANDROID_VERSIONS,
+    PHONE_MODELS,
+    DeviceConfig,
+    PhoneModel,
+    default_config,
+    phone,
+)
+from repro.analysis.experiments import (
+    cached_model,
+    run_per_key_sweep,
+    single_model_attack,
+)
+from repro.analysis.metrics import AccuracyReport, align, edit_distance
+from repro.analysis.report import generate_report
+from repro.analysis.reporting import bar_chart
+from repro.analysis.traces import TraceSummary, annotate, render_trace
+from repro.core import features
+from repro.core.classifier import Classification, ClassificationModel, build_model
+from repro.core.guessing import CandidateGenerator
+from repro.core.launch import IDLE_POLL_INTERVAL_S, LaunchDetector
+from repro.core.model_store import ModelStore
+from repro.core.online import EngineStats, InferredKey, OnlineEngine, OnlineResult
+from repro.core.pipeline import (
+    ATTACK_SOURCE_CHUNK,
+    AttackResult,
+    EavesdropAttack,
+    simulate_credential_entry,
+)
+from repro.core.pipeline import run_sessions as _pipeline_run_sessions
+from repro.core.pipeline import train_model, train_store
+from repro.core.results import SessionResult
+from repro.core.service import MonitoringService, ServiceReport
+from repro.gpu import counters
+from repro.kgsl.device_file import DeviceClock, open_kgsl
+from repro.kgsl.ioctl import IoctlError
+from repro.kgsl.sampler import DEFAULT_INTERVAL_S, PerfCounterSampler, SystemLoad
+from repro.mitigations.access_control import LocalOnlyPolicy, RbacPolicy
+from repro.mitigations.obfuscation import CounterObfuscationPolicy
+from repro.mitigations.popup_disable import config_with_popups_disabled
+from repro.runtime import RuntimeEvent, RuntimeTrace
+from repro.workloads.credentials import character_group, credential_batch
+
+__all__ = [
+    # facade
+    "AttackConfig",
+    "train",
+    "attack",
+    "run_sessions",
+    "monitor",
+    "simulate",
+    # results protocol
+    "SessionResult",
+    "AttackResult",
+    "OnlineResult",
+    "ServiceReport",
+    "InferredKey",
+    "EngineStats",
+    # faults
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "FAULT_PROFILE_ENV",
+    "faults",
+    # engine / model
+    "EavesdropAttack",
+    "MonitoringService",
+    "OnlineEngine",
+    "Classification",
+    "ClassificationModel",
+    "build_model",
+    "ModelStore",
+    "CandidateGenerator",
+    "LaunchDetector",
+    "train_model",
+    "train_store",
+    "simulate_credential_entry",
+    # device registry
+    "AppSpec",
+    "app",
+    "TARGET_APPS",
+    "NATIVE_APPS",
+    "AMEX",
+    "CHASE",
+    "CHASE_WEB",
+    "EXPERIAN",
+    "EXPERIAN_WEB",
+    "FIDELITY",
+    "MYFICO",
+    "PNC",
+    "SCHWAB",
+    "SCHWAB_WEB",
+    "DeviceConfig",
+    "PhoneModel",
+    "phone",
+    "PHONE_MODELS",
+    "ANDROID_VERSIONS",
+    "KeyboardSpec",
+    "keyboard",
+    "KEYBOARDS",
+    "default_config",
+    # victim-side simulation
+    "SessionTrace",
+    "VictimDevice",
+    "KeyPress",
+    "BackspacePress",
+    # low-level KGSL access
+    "DeviceClock",
+    "open_kgsl",
+    "PerfCounterSampler",
+    "SystemLoad",
+    "IoctlError",
+    "DEFAULT_INTERVAL_S",
+    "IDLE_POLL_INTERVAL_S",
+    "ATTACK_SOURCE_CHUNK",
+    # analysis helpers
+    "AccuracyReport",
+    "align",
+    "edit_distance",
+    "bar_chart",
+    "generate_report",
+    "cached_model",
+    "run_per_key_sweep",
+    "single_model_attack",
+    "TraceSummary",
+    "annotate",
+    "render_trace",
+    # runtime observability
+    "RuntimeTrace",
+    "RuntimeEvent",
+    # workloads / mitigations
+    "credential_batch",
+    "character_group",
+    "RbacPolicy",
+    "LocalOnlyPolicy",
+    "CounterObfuscationPolicy",
+    "config_with_popups_disabled",
+    # modules
+    "features",
+    "counters",
+]
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Every tunable of the attack pipeline in one place.
+
+    Consumed by the facade functions and the CLI; serializes round-trip
+    through :meth:`to_dict` / :meth:`from_dict` (the nested fault plan
+    serializes as its profile name, its full dict, or ``None``).
+    """
+
+    #: Attack-mode sampling interval (the paper's 8 ms).
+    interval_s: float = DEFAULT_INTERVAL_S
+    #: Idle-watch polling interval of the monitoring service.
+    idle_interval_s: float = IDLE_POLL_INTERVAL_S
+    #: How long the service stays in attack mode after a launch.
+    attack_window_s: float = 60.0
+    #: Reads pulled per scheduling step by the attack-phase source.
+    chunk: int = ATTACK_SOURCE_CHUNK
+    #: Run device recognition before picking a model (multi-model stores).
+    recognize_device: bool = True
+    #: Engine toggles (Sections 5.2 / 5.3 / collision recovery).
+    detect_switches: bool = True
+    track_corrections: bool = True
+    recover_collisions: bool = True
+    #: Concurrent system load on the victim device (Section 7.3).
+    cpu_utilization: float = 0.0
+    gpu_utilization: float = 0.0
+    #: Offline-phase sweep repeats and RNG seed.
+    sweep_repeats: int = 4
+    train_seed: int = 7
+    #: Fault plan: "auto" (environment), a profile name, a plan, or None.
+    fault_plan: Union[FaultPlan, None, str] = "auto"
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0 or self.idle_interval_s <= 0:
+            raise ValueError("sampling intervals must be positive")
+        if self.attack_window_s <= 0:
+            raise ValueError("attack_window_s must be positive")
+        if self.chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        for name in ("cpu_utilization", "gpu_utilization"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.sweep_repeats < 1:
+            raise ValueError("sweep_repeats must be >= 1")
+
+    @property
+    def load(self) -> SystemLoad:
+        return SystemLoad(
+            cpu_utilization=self.cpu_utilization,
+            gpu_utilization=self.gpu_utilization,
+        )
+
+    def resolved_fault_plan(self) -> Optional[FaultPlan]:
+        return faults.resolve_plan(self.fault_plan)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "fault_plan" and isinstance(value, FaultPlan):
+                value = value.to_dict()
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AttackConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown AttackConfig fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        plan = kwargs.get("fault_plan")
+        if isinstance(plan, Mapping):
+            kwargs["fault_plan"] = FaultPlan.from_dict(plan)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+_DEFAULT_CONFIG = AttackConfig()
+
+
+def _attacker(store: ModelStore, config: AttackConfig) -> EavesdropAttack:
+    return EavesdropAttack(
+        store,
+        interval_s=config.interval_s,
+        recognize_device=config.recognize_device,
+        detect_switches=config.detect_switches,
+        track_corrections=config.track_corrections,
+        recover_collisions=config.recover_collisions,
+        fault_plan=config.fault_plan,
+    )
+
+
+def train(
+    pairs: Iterable[Tuple[DeviceConfig, AppSpec]],
+    config: Optional[AttackConfig] = None,
+) -> ModelStore:
+    """Offline phase: train one model per (device config, app) pair."""
+    config = config if config is not None else _DEFAULT_CONFIG
+    return train_store(
+        pairs,
+        seed=config.train_seed,
+        interval_s=config.interval_s,
+        sweep_repeats=config.sweep_repeats,
+    )
+
+
+def simulate(
+    device_config: DeviceConfig,
+    target: AppSpec,
+    credential: str,
+    seed: int = 1,
+    config: Optional[AttackConfig] = None,
+    speed_tier: Optional[str] = None,
+) -> SessionTrace:
+    """Compile a victim session where ``credential`` is typed into
+    ``target`` (GPU background load comes from the config)."""
+    config = config if config is not None else _DEFAULT_CONFIG
+    return simulate_credential_entry(
+        device_config,
+        target,
+        credential,
+        seed=seed,
+        speed_tier=speed_tier,
+        gpu_utilization=config.gpu_utilization,
+    )
+
+
+def attack(
+    store: ModelStore,
+    trace: SessionTrace,
+    seed: int = 99,
+    config: Optional[AttackConfig] = None,
+    model_key: Optional[str] = None,
+    access_policy=None,
+    runtime_trace: Optional[RuntimeTrace] = None,
+) -> AttackResult:
+    """Online phase: sample one victim session and infer the credential."""
+    config = config if config is not None else _DEFAULT_CONFIG
+    return _attacker(store, config).run_on_trace(
+        trace,
+        load=config.load,
+        seed=seed,
+        model_key=model_key,
+        access_policy=access_policy,
+        runtime_trace=runtime_trace,
+    )
+
+
+def run_sessions(
+    store: ModelStore,
+    traces: Sequence[SessionTrace],
+    seed: int = 99,
+    config: Optional[AttackConfig] = None,
+    runtime_trace: Optional[RuntimeTrace] = None,
+) -> List[AttackResult]:
+    """Batched online phase: N victim sessions on one session runtime."""
+    config = config if config is not None else _DEFAULT_CONFIG
+    return _pipeline_run_sessions(
+        _attacker(store, config),
+        traces,
+        load=config.load,
+        seed=seed,
+        runtime_trace=runtime_trace,
+    )
+
+
+def monitor(
+    store: ModelStore,
+    trace: SessionTrace,
+    seed: int = 1234,
+    config: Optional[AttackConfig] = None,
+    watch_model_key: Optional[str] = None,
+    runtime_trace: Optional[RuntimeTrace] = None,
+) -> ServiceReport:
+    """Run the full background monitoring service over a victim session."""
+    config = config if config is not None else _DEFAULT_CONFIG
+    service = MonitoringService(
+        store,
+        idle_interval_s=config.idle_interval_s,
+        attack_interval_s=config.interval_s,
+        attack_window_s=config.attack_window_s,
+        fault_plan=config.fault_plan,
+    )
+    return service.run(
+        trace,
+        load=config.load,
+        seed=seed,
+        watch_model_key=watch_model_key,
+        runtime_trace=runtime_trace,
+    )

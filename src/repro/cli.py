@@ -9,16 +9,60 @@ Commands:
 * ``report``   — regenerate the evaluation figures into a directory
 * ``devices``  — list modeled phones, keyboards and apps
 
-The CLI is a thin shell over the public API; every command prints the
-equivalent library calls so it doubles as documentation.
+The CLI is a thin shell over the public API (``repro.api``); every
+command maps onto one or two facade calls so it doubles as
+documentation.  ``steal`` and ``attack`` accept ``--fault-profile`` /
+``--fault-seed`` to exercise the resilient sampling path against an
+unreliable KGSL interface (see ``repro.faults``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from repro.api import (
+    CHASE,
+    KEYBOARDS,
+    PHONE_MODELS,
+    TARGET_APPS,
+    AttackConfig,
+    CandidateGenerator,
+    DeviceConfig,
+    FaultPlan,
+    app,
+    attack,
+    bar_chart,
+    default_config,
+    generate_report,
+    keyboard,
+    ModelStore,
+    phone,
+    run_per_key_sweep,
+    run_sessions,
+    simulate,
+    train,
+)
+
+_FAULT_CHOICES = ("auto", "none", "mild", "harsh")
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-profile",
+        choices=_FAULT_CHOICES,
+        default="auto",
+        help="inject KGSL faults: none/mild/harsh, or 'auto' to honor "
+        "the REPRO_FAULT_PROFILE environment variable (default)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault plan RNG (with --fault-profile)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,27 +84,29 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="victim sessions to run concurrently on one session runtime",
     )
+    _add_fault_flags(steal)
 
-    train = sub.add_parser("train", help="offline phase: train and save models")
-    train.add_argument("output", help="model store JSON path")
-    train.add_argument("--phone", action="append", default=[])
-    train.add_argument("--keyboard", action="append", default=[])
-    train.add_argument("--app", action="append", default=[])
+    train_p = sub.add_parser("train", help="offline phase: train and save models")
+    train_p.add_argument("output", help="model store JSON path")
+    train_p.add_argument("--phone", action="append", default=[])
+    train_p.add_argument("--keyboard", action="append", default=[])
+    train_p.add_argument("--app", action="append", default=[])
 
-    attack = sub.add_parser("attack", help="online phase using a saved store")
-    attack.add_argument("store", help="model store JSON path")
-    attack.add_argument("credential")
-    attack.add_argument("--phone", default="oneplus8pro")
-    attack.add_argument("--keyboard", default="gboard")
-    attack.add_argument("--app", default="chase")
-    attack.add_argument("--seed", type=int, default=42)
-    attack.add_argument("--guesses", type=int, default=10)
-    attack.add_argument(
+    attack_p = sub.add_parser("attack", help="online phase using a saved store")
+    attack_p.add_argument("store", help="model store JSON path")
+    attack_p.add_argument("credential")
+    attack_p.add_argument("--phone", default="oneplus8pro")
+    attack_p.add_argument("--keyboard", default="gboard")
+    attack_p.add_argument("--app", default="chase")
+    attack_p.add_argument("--seed", type=int, default=42)
+    attack_p.add_argument("--guesses", type=int, default=10)
+    attack_p.add_argument(
         "--sessions",
         type=int,
         default=1,
         help="victim sessions to run concurrently on one session runtime",
     )
+    _add_fault_flags(attack_p)
 
     survey = sub.add_parser("survey", help="per-key weak spots for a keyboard")
     survey.add_argument("--keyboard", default="gboard")
@@ -74,26 +120,37 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _config(phone_name: str, keyboard_name: str):
-    from repro.android.keyboard import keyboard
-    from repro.android.os_config import DeviceConfig, phone
-
+def _config(phone_name: str, keyboard_name: str) -> DeviceConfig:
     return DeviceConfig(phone=phone(phone_name), keyboard=keyboard(keyboard_name))
 
 
-def _run_batched(attack, config, target, credential, seed, sessions) -> int:
+def _attack_config(args, **overrides) -> AttackConfig:
+    profile = getattr(args, "fault_profile", "auto")
+    if profile == "auto":
+        fault_plan = "auto"
+    else:
+        fault_plan = FaultPlan.from_profile(profile, seed=args.fault_seed)
+    return AttackConfig(fault_plan=fault_plan, **overrides)
+
+
+def _fault_summary(result) -> str:
+    if result.faults is None or not result.faults.total:
+        return ""
+    return (
+        f"faults   : {result.faults.total} injected "
+        f"({result.faults.as_dict()}), degraded={result.degraded}"
+    )
+
+
+def _run_batched(store, cfg, config, target, credential, seed, sessions) -> int:
     """Run ``sessions`` concurrent victims on one session runtime and
     print per-session outcomes plus the aggregate accuracy."""
-    import time
-
-    from repro.core.pipeline import run_sessions, simulate_credential_entry
-
     traces = [
-        simulate_credential_entry(config, target, credential, seed=seed + i)
+        simulate(config, target, credential, seed=seed + i, config=cfg)
         for i in range(sessions)
     ]
     started = time.perf_counter()
-    results = run_sessions(attack, traces, seed=seed + 1000)
+    results = run_sessions(store, traces, seed=seed + 1000, config=cfg)
     elapsed = time.perf_counter() - started
     exact = sum(1 for r in results if r.text == credential)
     for i, result in enumerate(results):
@@ -107,33 +164,27 @@ def _run_batched(attack, config, target, credential, seed, sessions) -> int:
 
 
 def _cmd_steal(args) -> int:
-    from repro.android.apps import app
-    from repro.core.model_store import ModelStore
-    from repro.core.pipeline import EavesdropAttack, simulate_credential_entry, train_model
-
     config = _config(args.phone, args.keyboard)
     target = app(args.app)
+    cfg = _attack_config(args, recognize_device=False)
     print(f"training model for {config.config_key()} / {target.name} ...")
-    model = train_model(config, target)
-    store = ModelStore()
-    store.add(model)
-    attack = EavesdropAttack(store, recognize_device=False)
+    store = train([(config, target)], config=cfg)
     if args.sessions > 1:
         return _run_batched(
-            attack, config, target, args.credential, args.seed, args.sessions
+            store, cfg, config, target, args.credential, args.seed, args.sessions
         )
-    trace = simulate_credential_entry(config, target, args.credential, seed=args.seed)
-    result = attack.run_on_trace(trace, seed=args.seed + 1)
+    trace = simulate(config, target, args.credential, seed=args.seed, config=cfg)
+    result = attack(store, trace, seed=args.seed + 1, config=cfg)
     print(f"typed    : {args.credential!r}")
     print(f"inferred : {result.text!r}")
     print("outcome  : " + ("EXACT" if result.text == args.credential else "partial"))
+    summary = _fault_summary(result)
+    if summary:
+        print(summary)
     return 0 if result.text == args.credential else 1
 
 
 def _cmd_train(args) -> int:
-    from repro.android.apps import app
-    from repro.core.pipeline import train_store
-
     phones = args.phone or ["oneplus8pro"]
     keyboards = args.keyboard or ["gboard"]
     apps = args.app or ["chase"]
@@ -141,7 +192,7 @@ def _cmd_train(args) -> int:
         (_config(p, k), app(a)) for p in phones for k in keyboards for a in apps
     ]
     print(f"training {len(pairs)} model(s) ...")
-    store = train_store(pairs)
+    store = train(pairs)
     store.save(args.output)
     print(
         f"wrote {args.output}: {len(store)} models, "
@@ -151,24 +202,22 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_attack(args) -> int:
-    from repro.android.apps import app
-    from repro.core.guessing import CandidateGenerator
-    from repro.core.model_store import ModelStore
-    from repro.core.pipeline import EavesdropAttack, simulate_credential_entry
-
     store = ModelStore.load(args.store)
     config = _config(args.phone, args.keyboard)
     target = app(args.app)
-    attack = EavesdropAttack(store)
+    cfg = _attack_config(args)
     if args.sessions > 1:
         return _run_batched(
-            attack, config, target, args.credential, args.seed, args.sessions
+            store, cfg, config, target, args.credential, args.seed, args.sessions
         )
-    trace = simulate_credential_entry(config, target, args.credential, seed=args.seed)
-    result = attack.run_on_trace(trace, seed=args.seed + 1)
+    trace = simulate(config, target, args.credential, seed=args.seed, config=cfg)
+    result = attack(store, trace, seed=args.seed + 1, config=cfg)
     print(f"recognized: {result.model_key}")
     print(f"typed     : {args.credential!r}")
     print(f"inferred  : {result.text!r}")
+    summary = _fault_summary(result)
+    if summary:
+        print(summary)
     if result.text != args.credential and args.guesses > 1:
         model = store.get(result.model_key)
         generator = CandidateGenerator(model)
@@ -182,12 +231,6 @@ def _cmd_attack(args) -> int:
 
 
 def _cmd_survey(args) -> int:
-    from repro.analysis.experiments import run_per_key_sweep
-    from repro.analysis.reporting import bar_chart
-    from repro.android.apps import CHASE
-    from repro.android.keyboard import KEYBOARDS
-    from repro.android.os_config import default_config
-
     if args.keyboard not in KEYBOARDS:
         print(f"unknown keyboard {args.keyboard!r}; available: {sorted(KEYBOARDS)}")
         return 2
@@ -202,8 +245,6 @@ def _cmd_survey(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.analysis.report import generate_report
-
     written = generate_report(args.output_dir, scale=args.scale)
     for name, path in written.items():
         print(f"wrote {path}")
@@ -211,10 +252,6 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_devices(args) -> int:
-    from repro.android.apps import TARGET_APPS
-    from repro.android.keyboard import KEYBOARDS
-    from repro.android.os_config import PHONE_MODELS
-
     print("phones:")
     for name, spec in sorted(PHONE_MODELS.items()):
         print(f"  {name:12s} {spec.display_name} ({spec.gpu.name}, Android {spec.android.version})")

@@ -37,10 +37,17 @@ COMPOSITE_CTH_FACTOR = 1.6
 
 @dataclass(frozen=True)
 class Classification:
-    """Result of classifying one PC value change."""
+    """Result of classifying one PC value change.
+
+    ``confidence`` is 1.0 for a full-vector classification and the
+    fraction of feature dimensions actually observed when the vector was
+    masked (counters reclaimed by another client) — the downstream
+    engine uses it to flag low-confidence keys.
+    """
 
     label: Optional[str]
     distance: float
+    confidence: float = 1.0
 
     @property
     def is_key(self) -> bool:
@@ -95,6 +102,7 @@ class ClassificationModel:
         )
         self._scaled = self._transform_rows(self.centroids / self.scale)
         self._composite_cache: Dict[Tuple[str, ...], Tuple[List[int], List[int], np.ndarray, np.ndarray]] = {}
+        self._masked_cache: Dict[bytes, Tuple[np.ndarray]] = {}
 
     def _transform_rows(self, rows: np.ndarray) -> np.ndarray:
         """Apply the deflation projection (if any) to scaled-space rows."""
@@ -140,6 +148,44 @@ class ClassificationModel:
 
     def classify(self, delta) -> Classification:
         return self.classify_vector(features.vectorize(delta))
+
+    def classify_vector_masked(
+        self, vec: np.ndarray, present: np.ndarray
+    ) -> Classification:
+        """Nearest centroid over the *observed* dimensions only.
+
+        When counters are missing from a delta (register reclaimed by
+        another KGSL client), their dimensions carry no information, so
+        the distance is computed over the present dimensions and scaled
+        by ``sqrt(D/d)`` to stay comparable with the full-vector ``cth``
+        (the expected squared distance grows linearly with dimensions).
+        Deflation is skipped: the deflate direction is not meaningful in
+        a subspace.  ``confidence`` reports the observed fraction d/D.
+        """
+        d = int(np.count_nonzero(present))
+        if d == 0:
+            return Classification(label=None, distance=float("inf"), confidence=0.0)
+        if d == features.DIMENSIONS:
+            full = self.classify_vector(vec)
+            return full
+        key = present.tobytes()
+        cached = self._masked_cache.get(key)
+        if cached is None:
+            cached = (self.centroids[:, present] / self.scale[present],)
+            self._masked_cache[key] = cached
+        (scaled_centroids,) = cached
+        scaled = vec[present] / self.scale[present]
+        diffs = scaled_centroids - scaled
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        correction = float(np.sqrt(features.DIMENSIONS / d))
+        best = int(np.argmin(dists))
+        distance = float(dists[best]) * correction
+        confidence = d / features.DIMENSIONS
+        if distance > self.cth:
+            return Classification(label=None, distance=distance, confidence=confidence)
+        return Classification(
+            label=self.labels[best], distance=distance, confidence=confidence
+        )
 
     def classify_composite(
         self,

@@ -8,7 +8,7 @@ high-dimension space" spanned by all selected PCs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -53,6 +53,20 @@ def vectorize_many(deltas: Iterable[PcDelta]) -> np.ndarray:
 def counter_index(spec: pc.CounterSpec) -> int:
     """Column index of one counter in the feature vector."""
     return _INDEX[spec.counter_id]
+
+
+def present_mask(missing: Sequence[pc.CounterId]) -> np.ndarray:
+    """Boolean mask over feature dimensions: True where the counter was
+    actually observed (i.e. *not* in the delta's ``missing`` list).
+
+    Used by masked classification when a counter register was reclaimed
+    by another KGSL client mid-session."""
+    mask = np.ones(DIMENSIONS, dtype=bool)
+    for counter_id in missing:
+        index = _INDEX.get(counter_id)
+        if index is not None:
+            mask[index] = False
+    return mask
 
 
 def robust_scale(matrix: np.ndarray, floor: float = 1.0) -> np.ndarray:

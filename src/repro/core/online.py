@@ -56,13 +56,19 @@ SPLIT_MERGE_FACTOR = 2.6
 
 @dataclass
 class InferredKey:
-    """One inferred key press (an element of E with its M timestamp)."""
+    """One inferred key press (an element of E with its M timestamp).
+
+    ``low_confidence`` marks keys classified from a masked feature
+    vector (counters missing at the KGSL boundary): reported rather than
+    dropped, but flagged so the consumer can weigh them accordingly.
+    """
 
     t: float
     char: str
     distance: float
     deleted: bool = False
     from_split: bool = False
+    low_confidence: bool = False
 
 
 @dataclass
@@ -78,6 +84,9 @@ class EngineStats:
     deletions_detected: int = 0
     suppressed_by_switch: int = 0
     unattributed_growth: int = 0
+    gaps_seen: int = 0
+    masked_deltas: int = 0
+    low_confidence_keys: int = 0
 
 
 @dataclass
@@ -87,6 +96,7 @@ class OnlineResult:
     keys: List[InferredKey] = field(default_factory=list)
     stats: EngineStats = field(default_factory=EngineStats)
     inference_times_s: List[float] = field(default_factory=list)
+    trace: Optional[RuntimeTrace] = None
 
     @property
     def text(self) -> str:
@@ -171,11 +181,19 @@ class OnlineEngine:
 
     def begin(self) -> OnlineResult:
         """Open a new stream; returns the (live) result accumulator."""
-        self._result = OnlineResult()
+        self._result = OnlineResult(trace=self.trace)
         self._prev = None
         self._prev_consumed = True
         self._last_fed_t = None
         return self._result
+
+    def _classify(self, delta: PcDelta):
+        """Classify a delta, masking missing feature dimensions if any."""
+        if delta.missing:
+            return self._active_model.classify_vector_masked(
+                features.vectorize(delta), features.present_mask(delta.missing)
+            )
+        return self._active_model.classify(delta)
 
     def feed(self, delta: PcDelta) -> OnlineResult:
         """Consume one PC delta incrementally (Algorithm 1, one step).
@@ -188,9 +206,19 @@ class OnlineEngine:
             self.begin()
         result = self._result
         self._last_fed_t = delta.t
+        if delta.gap:
+            # dropped/deferred reads between the endpoints: events in the
+            # hole were merged or lost — record it even if the delta is
+            # otherwise unremarkable
+            result.stats.gaps_seen += 1
+            self._emit(delta.t, "gap", span_s=delta.t - delta.prev_t)
         if not delta:
             return result
         result.stats.deltas_seen += 1
+        masked = bool(delta.missing)
+        if masked:
+            result.stats.masked_deltas += 1
+            self._emit(delta.t, "masked_delta", missing=len(delta.missing))
 
         # Ambient-workload correction (Fig 22b): a background app adds
         # an increment of unknown magnitude but stable *direction* to
@@ -202,7 +230,7 @@ class OnlineEngine:
             self._refresh_deflation(t=delta.t)
 
         t0 = time.perf_counter()
-        classification = self._active_model.classify(delta)
+        classification = self._classify(delta)
         result.inference_times_s.append(time.perf_counter() - t0)
 
         prev, prev_consumed = self._prev, self._prev_consumed
@@ -236,7 +264,7 @@ class OnlineEngine:
         ):
             merged = delta.merge(prev)
             t0 = time.perf_counter()
-            merged_cls = self._active_model.classify(merged)
+            merged_cls = self._classify(merged)
             result.inference_times_s.append(time.perf_counter() - t0)
         if merged_cls is not None and merged_cls.label is not None and (
             classification.label is None
@@ -247,12 +275,19 @@ class OnlineEngine:
             result.stats.splits_recovered += 1
             self._emit(delta.t, "split_merge", merged_from=prev.t)
 
-        if classification.label is None and self.recover_collisions:
+        if classification.label is None and self.recover_collisions and not masked:
+            # collision heuristics (halving, composite subtraction) need
+            # the full feature vector — a masked delta would fabricate
+            # evidence in the unobserved dimensions
             recovered = self._recover_collision(result, delta)
             if recovered is not None:
                 classification = recovered
                 self._emit(delta.t, "collision_recovered")
-            elif merged_cls is not None and merged_cls.label is None:
+            elif (
+                merged_cls is not None
+                and merged_cls.label is None
+                and not (prev is not None and prev.missing)
+            ):
                 # a composite event (press + dismiss/field) itself split
                 # across two reads: recombine, then decompose
                 t0 = time.perf_counter()
@@ -413,6 +448,10 @@ class OnlineEngine:
         return raw_dir, scaled_dir
 
     def _note_noise(self, delta: PcDelta) -> None:
+        if delta.missing:
+            # zeros in unobserved dimensions would bend the ambient
+            # direction estimate toward the observed subspace
+            return
         self._noise_ring.append(features.vectorize(delta))
         if len(self._noise_ring) > self.AMBIENT_WINDOW:
             self._noise_ring.pop(0)
@@ -438,13 +477,22 @@ class OnlineEngine:
             return
         char = classification.key_char
         assert char is not None
+        low_confidence = getattr(classification, "confidence", 1.0) < 1.0
         result.keys.append(
             InferredKey(
-                t=t, char=char, distance=classification.distance, from_split=from_split
+                t=t,
+                char=char,
+                distance=classification.distance,
+                from_split=from_split,
+                low_confidence=low_confidence,
             )
         )
         result.stats.keys_inferred += 1
-        self._emit(t, "key", char=char, from_split=from_split)
+        if low_confidence:
+            result.stats.low_confidence_keys += 1
+            self._emit(t, "key", char=char, from_split=from_split, low_confidence=True)
+        else:
+            self._emit(t, "key", char=char, from_split=from_split)
 
     def _field_event(self, result: OnlineResult, t: float, length: Optional[int]) -> None:
         result.stats.field_events += 1

@@ -23,17 +23,19 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import faults as faults_mod
 from repro.android.apps import AppSpec
 from repro.android.device import SessionTrace, VictimDevice
 from repro.android.os_config import DeviceConfig
 from repro.core.device_recognition import DeviceRecognizer, RecognitionResult
 from repro.core.model_store import ModelStore
 from repro.core.offline import OfflineTrainer
-from repro.core.online import OnlineEngine, OnlineResult
+from repro.core.online import InferredKey, OnlineEngine, OnlineResult
+from repro.core.results import warn_deprecated
 from repro.kgsl.device_file import DeviceClock, KgslDeviceFile, ProcessContext, open_kgsl
 from repro.kgsl.sampler import (
     DEFAULT_INTERVAL_S,
@@ -118,21 +120,44 @@ def simulate_credential_entry(
 @dataclass
 class AttackResult:
     """Everything the attacking application would send home, plus
-    diagnostics for the evaluation harness."""
+    diagnostics for the evaluation harness.
+
+    Satisfies the :class:`~repro.core.results.SessionResult` protocol
+    (``keys`` / ``text`` / ``stats`` / ``trace``).  ``faults`` carries
+    the exact injected-fault tally when a fault plan was active, and
+    ``degraded`` says whether the resilience layer had to intervene.
+    """
 
     online: OnlineResult
     model_key: str
     recognition: Optional[RecognitionResult]
-    samples_taken: int
+    reads_issued: int
     reads_dropped: int
+    faults: Optional[faults_mod.FaultStats] = None
+    degraded: bool = False
+    trace: Optional[RuntimeTrace] = None
+
+    @property
+    def keys(self) -> List[InferredKey]:
+        return self.online.keys
 
     @property
     def text(self) -> str:
         return self.online.text
 
     @property
+    def stats(self):
+        return self.online.stats
+
+    @property
     def inference_times_s(self) -> List[float]:
         return self.online.inference_times_s
+
+    @property
+    def samples_taken(self) -> int:
+        """Deprecated alias of :attr:`reads_issued` (one-release shim)."""
+        warn_deprecated("AttackResult.samples_taken", "AttackResult.reads_issued")
+        return self.reads_issued
 
 
 class AttackStage:
@@ -221,7 +246,19 @@ class AttackStage:
 
     # ------------------------------------------------------------------
 
+    def _drain_faults(self, session, t: float) -> None:
+        """Publish the sampler's resilience events into the shared trace."""
+        injector = self.sampler.fault_injector
+        if injector is None:
+            return
+        for kind, detail in self.sampler.drain_fault_log():
+            session.trace.emit(t, session.id, self.name, kind, **detail)
+            session.mark_degraded(t, kind)
+
     def on_event(self, session, t: float, delta):
+        self._drain_faults(session, t)
+        if self.sampler.fault_injector is not None and getattr(delta, "degraded", False):
+            session.mark_degraded(t, "masked_delta" if delta.missing else "gap")
         if self.engine is None:
             self._pending.append(delta)
             if len(self._pending) >= max(1, self._recognize_after):
@@ -231,18 +268,24 @@ class AttackStage:
         return None
 
     def on_end(self, session, t: float):
+        self._drain_faults(session, t)
         if self.engine is None and (self._pending or not self._recognize_after):
             self._resolve(session)
         if self.engine is None:
             # recognition was required but the stream stayed empty
             raise ValueError("no nonzero PC changes to recognize from")
         online = self.engine.finish()
+        injector = self.sampler.fault_injector
         session.result = AttackResult(
             online=online,
             model_key=self.model_key,
             recognition=self.recognition,
-            samples_taken=self.sampler.reads_issued,
+            reads_issued=self.sampler.reads_issued,
             reads_dropped=self.sampler.reads_dropped,
+            faults=injector.stats if injector is not None else None,
+            degraded=session.degraded
+            or (injector is not None and injector.stats.total > 0),
+            trace=session.trace,
         )
         return None
 
@@ -258,6 +301,7 @@ class EavesdropAttack:
         detect_switches: bool = True,
         track_corrections: bool = True,
         recover_collisions: bool = True,
+        fault_plan: Union[faults_mod.FaultPlan, None, str] = "auto",
     ) -> None:
         if len(store) == 0:
             raise ValueError("model store is empty — run the offline phase first")
@@ -267,6 +311,7 @@ class EavesdropAttack:
         self.detect_switches = detect_switches
         self.track_corrections = track_corrections
         self.recover_collisions = recover_collisions
+        self.fault_plan = faults_mod.resolve_plan(fault_plan)
 
     def session_spec(
         self,
@@ -285,14 +330,22 @@ class EavesdropAttack:
         plug these into a :class:`SessionRuntime`.
         """
         rng = np.random.default_rng(seed)
+        injector = (
+            self.fault_plan.injector(seed_offset=seed)
+            if self.fault_plan is not None
+            else None
+        )
         kgsl = open_kgsl(
             trace.timeline,
             clock=DeviceClock(),
             context=ProcessContext(),
             access_policy=access_policy,
             adreno_model=trace.config.gpu.model,
+            fault_injector=injector,
         )
-        sampler = PerfCounterSampler(kgsl, interval_s=self.interval_s, rng=rng)
+        sampler = PerfCounterSampler(
+            kgsl, interval_s=self.interval_s, rng=rng, fault_injector=injector
+        )
         source = SamplerDeltaSource(
             sampler, 0.0, trace.end_time_s, load=load, chunk=chunk
         )

@@ -1,0 +1,54 @@
+"""The shared result protocol for the public API surface.
+
+Every run-level result object the facade returns — the batch attack's
+``AttackResult``, the streaming engine's ``OnlineResult``, the monitoring
+service's ``ServiceReport`` — satisfies :class:`SessionResult`: the same
+four accessors mean the same thing everywhere, so evaluation code can be
+written once against the protocol.
+
+* ``keys``  — the inferred key presses (list of ``InferredKey``);
+* ``text``  — the inferred credential with detected deletions applied;
+* ``stats`` — the engine's :class:`~repro.core.online.EngineStats`;
+* ``trace`` — the shared :class:`~repro.runtime.trace.RuntimeTrace`
+  event log of the run (``None`` when no trace was recorded).
+
+Field names that predate the protocol (``samples_taken``,
+``inferred_text``) remain available for one release as deprecated
+aliases; :func:`warn_deprecated` is the single choke point that emits
+their :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.core.online import EngineStats, InferredKey
+from repro.runtime.trace import RuntimeTrace
+
+
+@runtime_checkable
+class SessionResult(Protocol):
+    """What every run-level result of the public API can do."""
+
+    @property
+    def keys(self) -> List[InferredKey]: ...
+
+    @property
+    def text(self) -> str: ...
+
+    @property
+    def stats(self) -> EngineStats: ...
+
+    @property
+    def trace(self) -> Optional[RuntimeTrace]: ...
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the one-release deprecation warning for a renamed accessor."""
+    warnings.warn(
+        f"{old} is deprecated and will be removed in the next release; "
+        f"use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

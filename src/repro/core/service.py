@@ -33,6 +33,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from typing import Union
+
+from repro import faults as faults_mod
 from repro.android.device import SessionTrace
 from repro.core.launch import (
     IDLE_POLL_INTERVAL_S,
@@ -41,6 +44,7 @@ from repro.core.launch import (
     LaunchWatchStage,
 )
 from repro.core.model_store import ModelStore
+from repro.core.online import EngineStats, InferredKey
 from repro.core.pipeline import AttackResult, EavesdropAttack
 from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
 from repro.kgsl.sampler import (
@@ -54,7 +58,13 @@ from repro.runtime import RuntimeTrace, SamplerDeltaSource, Session, SessionRunt
 
 @dataclass
 class ServiceReport:
-    """What the service sends back — results only, never raw traces."""
+    """What the service sends back — results only, never raw traces.
+
+    Satisfies the :class:`~repro.core.results.SessionResult` protocol
+    (``keys`` / ``text`` / ``stats`` / ``trace``).  ``inferred_text`` is
+    the pre-protocol name of :attr:`text`; it remains a real field for
+    one release, but new code should read ``text``.
+    """
 
     launch_detected_at: Optional[float]
     inferred_text: str
@@ -63,6 +73,16 @@ class ServiceReport:
     model_key: str = ""
     idle_reads: int = 0
     attack_reads: int = 0
+    keys: List[InferredKey] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
+    trace: Optional[RuntimeTrace] = None
+    faults: Optional[faults_mod.FaultStats] = None
+    degraded: bool = False
+
+    @property
+    def text(self) -> str:
+        """The inferred credential (canonical protocol accessor)."""
+        return self.inferred_text
 
     @property
     def reads_saved_vs_always_on(self) -> float:
@@ -86,6 +106,7 @@ class MonitoringService:
         idle_interval_s: float = IDLE_POLL_INTERVAL_S,
         attack_interval_s: float = DEFAULT_INTERVAL_S,
         attack_window_s: float = 60.0,
+        fault_plan: Union[faults_mod.FaultPlan, None, str] = "auto",
     ) -> None:
         if len(store) == 0:
             raise ValueError("model store is empty")
@@ -93,6 +114,7 @@ class MonitoringService:
         self.idle_interval_s = idle_interval_s
         self.attack_interval_s = attack_interval_s
         self.attack_window_s = attack_window_s
+        self.fault_plan = faults_mod.resolve_plan(fault_plan)
 
     def run(
         self,
@@ -118,14 +140,20 @@ class MonitoringService:
         rng = np.random.default_rng(seed)
 
         # --- idle watch: slow polls until the launch is confirmed -------
+        idle_injector = (
+            self.fault_plan.injector(seed_offset=seed)
+            if self.fault_plan is not None
+            else None
+        )
         kgsl = open_kgsl(
             trace.timeline,
             clock=DeviceClock(),
             context=ProcessContext(),
             adreno_model=trace.config.gpu.model,
+            fault_injector=idle_injector,
         )
         watcher = PerfCounterSampler(
-            kgsl, interval_s=self.idle_interval_s, rng=rng
+            kgsl, interval_s=self.idle_interval_s, rng=rng, fault_injector=idle_injector
         )
         watch_key = watch_model_key or self.store.keys()[0]
         detector = LaunchDetector(self.store.get(watch_key))
@@ -134,6 +162,7 @@ class MonitoringService:
             self.store,
             interval_s=self.attack_interval_s,
             recognize_device=len(self.store) > 1,
+            fault_plan=self.fault_plan,
         )
         launch_info = {"event": None, "idle_reads": 0}
 
@@ -164,8 +193,22 @@ class MonitoringService:
                 launch_detected_at=None,
                 inferred_text="",
                 idle_reads=watcher.reads_issued,
+                trace=runtime.trace,
+                faults=idle_injector.stats if idle_injector is not None else None,
+                degraded=session.degraded,
             )
         attack_result: AttackResult = session.result
+        faults = attack_result.faults
+        if idle_injector is not None and faults is not None:
+            # the report covers the whole service run: both fds' tallies
+            faults = faults_mod.FaultStats(
+                **{
+                    name: value + idle_injector.stats.as_dict()[name]
+                    for name, value in faults.as_dict().items()
+                }
+            )
+        elif idle_injector is not None:
+            faults = idle_injector.stats
         return ServiceReport(
             launch_detected_at=launch.t,
             inferred_text=attack_result.text,
@@ -173,7 +216,12 @@ class MonitoringService:
             deletions_detected=attack_result.online.stats.deletions_detected,
             model_key=attack_result.model_key,
             idle_reads=launch_info["idle_reads"],
-            attack_reads=attack_result.samples_taken,
+            attack_reads=attack_result.reads_issued,
+            keys=attack_result.keys,
+            stats=attack_result.stats,
+            trace=runtime.trace,
+            faults=faults,
+            degraded=session.degraded or attack_result.degraded,
         )
 
 

@@ -86,12 +86,14 @@ class KgslDeviceFile:
         context: Optional[ProcessContext] = None,
         access_policy=None,
         adreno_model: int = 650,
+        fault_injector=None,
     ) -> None:
         self.timeline = timeline
         self.clock = clock if clock is not None else DeviceClock()
         self.context = context if context is not None else ProcessContext()
         self.access_policy = access_policy
         self.adreno_model = adreno_model
+        self.fault_injector = fault_injector
         self._reserved: Set[Tuple[int, int]] = set()
         self._closed = False
         self.ioctl_count = 0
@@ -119,6 +121,10 @@ class KgslDeviceFile:
         if self._closed:
             raise IoctlError(errno.EBADF, "device file is closed")
         self.ioctl_count += 1
+        if self.fault_injector is not None:
+            # may raise a transient error or steal a reserved register,
+            # exactly where the real driver's failures surface
+            self.fault_injector.on_ioctl(self, request, arg)
         if request == IOCTL_KGSL_PERFCOUNTER_GET:
             return self._perfcounter_get(arg)
         if request == IOCTL_KGSL_PERFCOUNTER_PUT:
@@ -182,6 +188,8 @@ class KgslDeviceFile:
                     now=self.clock.now,
                 )
             slot.value = raw
+        if self.fault_injector is not None:
+            self.fault_injector.after_read(arg.reads, self.clock.now)
         return 0
 
     def _device_getproperty(self, arg: KgslDeviceGetProperty) -> int:
@@ -196,6 +204,21 @@ class KgslDeviceFile:
         chip_id = ((model // 100) << 24) | (((model // 10) % 10) << 16) | ((model % 10) << 8)
         arg.value = KgslDeviceInfo(device_id=0, chip_id=chip_id, gpu_id=model)
         return 0
+
+    # ------------------------------------------------------------------
+
+    def reserved_counters(self) -> Tuple[Tuple[int, int], ...]:
+        """The (groupid, countable) registers this fd currently holds."""
+        return tuple(sorted(self._reserved))
+
+    def revoke_counter(self, key: Tuple[int, int]) -> None:
+        """Another client reclaimed this register: drop the reservation.
+
+        Subsequent PERFCOUNTER_READs that still name the register fail
+        with ``EINVAL`` until the caller re-registers it, which is the
+        contention behaviour the resilient sampler must survive.
+        """
+        self._reserved.discard(key)
 
     @staticmethod
     def _known_group(groupid: int) -> bool:
@@ -212,6 +235,7 @@ def open_kgsl(
     context: Optional[ProcessContext] = None,
     access_policy=None,
     adreno_model: int = 650,
+    fault_injector=None,
 ) -> KgslDeviceFile:
     """``open("/dev/kgsl-3d0", O_RDWR)`` equivalent for the simulation."""
     return KgslDeviceFile(
@@ -220,4 +244,5 @@ def open_kgsl(
         context=context,
         access_policy=access_policy,
         adreno_model=adreno_model,
+        fault_injector=fault_injector,
     )

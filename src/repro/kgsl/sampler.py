@@ -18,8 +18,9 @@ device file, including the scheduling realities the paper measures:
 
 from __future__ import annotations
 
+import errno
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.kgsl.device_file import KgslDeviceFile
 from repro.kgsl.ioctl import (
     IOCTL_KGSL_PERFCOUNTER_GET,
     IOCTL_KGSL_PERFCOUNTER_READ,
+    IoctlError,
     KgslPerfcounterGet,
     KgslPerfcounterRead,
     KgslPerfcounterReadGroup,
@@ -35,6 +37,10 @@ from repro.kgsl.ioctl import (
 
 #: Default sampling interval: 8 ms (Section 4 / Section 7.4).
 DEFAULT_INTERVAL_S = 0.008
+
+#: ioctl failures worth retrying: the driver was busy, not broken.
+_TRANSIENT_ERRNOS = frozenset({errno.EIO, errno.EBUSY})
+_EINVAL = errno.EINVAL
 
 #: Baseline scheduling jitter of an idle Android system.
 _BASE_JITTER_S = 250e-6
@@ -65,24 +71,43 @@ IDLE = SystemLoad()
 
 @dataclass(frozen=True)
 class PcSample:
-    """One read of all selected counters."""
+    """One read of the currently-available selected counters.
+
+    ``missing`` lists configured counters whose registers were not held
+    at read time (reclaimed by another client, re-registration pending);
+    their values are *unknown*, not zero.
+    """
 
     nominal_t: float
     t: float
     values: Dict[pc.CounterId, int]
+    missing: Tuple[pc.CounterId, ...] = ()
 
 
 @dataclass(frozen=True)
 class PcDelta:
-    """Per-counter change between two consecutive samples."""
+    """Per-counter change between two consecutive samples.
+
+    ``missing`` carries counters whose change over this interval is
+    unknown (absent from at least one endpoint sample) — downstream
+    classification must mask those dimensions rather than read them as
+    zero.  ``gap`` marks a delta spanning noticeably more than one
+    nominal sampling interval (dropped or deferred reads in between).
+    """
 
     t: float
     prev_t: float
     values: Dict[pc.CounterId, int]
+    missing: Tuple[pc.CounterId, ...] = ()
+    gap: bool = False
 
     @property
     def total(self) -> int:
         return sum(self.values.values())
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing) or self.gap
 
     def get(self, spec: pc.CounterSpec) -> int:
         return self.values.get(spec.counter_id, 0)
@@ -95,7 +120,18 @@ class PcDelta:
         merged = dict(other.values)
         for counter_id, value in self.values.items():
             merged[counter_id] = merged.get(counter_id, 0) + value
-        return PcDelta(t=self.t, prev_t=other.prev_t, values=merged)
+        missing = (
+            tuple(sorted(set(self.missing) | set(other.missing)))
+            if (self.missing or other.missing)
+            else ()
+        )
+        return PcDelta(
+            t=self.t,
+            prev_t=other.prev_t,
+            values=merged,
+            missing=missing,
+            gap=self.gap or other.gap,
+        )
 
     def scaled(self, factor: float) -> "PcDelta":
         """Delta scaled by ``factor`` (duplication-halving heuristic)."""
@@ -105,11 +141,32 @@ class PcDelta:
             t=self.t,
             prev_t=self.prev_t,
             values={cid: int(round(v * factor)) for cid, v in self.values.items()},
+            missing=self.missing,
+            gap=self.gap,
         )
 
 
 class PerfCounterSampler:
-    """The attacking service's counter-reading loop."""
+    """The attacking service's counter-reading loop.
+
+    The loop is *resilient*: transient ioctl failures (``EIO``/``EBUSY``)
+    are retried with backoff in device time; a counter register reclaimed
+    by another client is detected via the resulting ``EINVAL``, dropped
+    from the active read set, and automatically re-registered with
+    exponential backoff once the other client releases it.  Everything
+    the resilience layer does is recorded in :attr:`fault_log` so the
+    runtime stage can surface degraded-mode events in the shared
+    :class:`~repro.runtime.trace.RuntimeTrace`.  With no fault injector
+    installed none of these paths execute and the loop is byte-identical
+    to the infallible original.
+    """
+
+    #: Transient-read retries before the failure is considered permanent.
+    MAX_READ_RETRIES = 4
+    #: Device-time backoff per retry attempt (multiplied by attempt #).
+    RETRY_BACKOFF_S = 0.0004
+    #: Cap on the re-registration backoff (in reads).
+    MAX_REREGISTER_BACKOFF = 64
 
     def __init__(
         self,
@@ -117,6 +174,7 @@ class PerfCounterSampler:
         counters: Sequence[pc.CounterSpec] = tuple(pc.SELECTED_COUNTERS),
         interval_s: float = DEFAULT_INTERVAL_S,
         rng: Optional[np.random.Generator] = None,
+        fault_injector=None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("sampling interval must be positive")
@@ -124,31 +182,162 @@ class PerfCounterSampler:
         self.counters = list(counters)
         self.interval_s = interval_s
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.fault_injector = fault_injector
         self.reads_issued = 0
         self.reads_dropped = 0
+        # -- resilience bookkeeping ------------------------------------
+        self.retries = 0
+        self.reregistrations = 0
+        self.counters_lost = 0
+        self.fault_log: List[Tuple[str, Dict[str, object]]] = []
+        self._read_index = 0
+        #: lost spec -> (read index of next re-registration attempt, failures)
+        self._lost: Dict[pc.CounterSpec, Tuple[int, int]] = {}
+        self._active: List[pc.CounterSpec] = []
         self._reserve_counters()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the resilience layer has had to intervene at all."""
+        return bool(self.retries or self.reregistrations or self.counters_lost or self._lost)
+
+    def drain_fault_log(self) -> List[Tuple[str, Dict[str, object]]]:
+        """Hand pending resilience events to the caller (runtime stage)."""
+        out, self.fault_log = self.fault_log, []
+        return out
+
+    def _note(self, kind: str, **detail: object) -> None:
+        self.fault_log.append((kind, detail))
 
     def _reserve_counters(self) -> None:
         """PERFCOUNTER_GET for every selected counter (paper Fig 10)."""
         for spec in self.counters:
+            if self._try_reserve(spec):
+                self._active.append(spec)
+            else:
+                self._lose(spec)
+
+    def _try_reserve(self, spec: pc.CounterSpec) -> bool:
+        """One reservation attempt (with transient-error retries)."""
+        attempt = 0
+        while True:
             get = KgslPerfcounterGet(groupid=int(spec.group), countable=spec.countable)
-            self.device_file.ioctl(IOCTL_KGSL_PERFCOUNTER_GET, get)
+            try:
+                self.device_file.ioctl(IOCTL_KGSL_PERFCOUNTER_GET, get)
+                return True
+            except IoctlError as exc:
+                if (
+                    self.fault_injector is not None
+                    and exc.errno in _TRANSIENT_ERRNOS
+                    and attempt < self.MAX_READ_RETRIES
+                ):
+                    attempt += 1
+                    self.retries += 1
+                    self._backoff(attempt)
+                    continue
+                if self.fault_injector is not None and exc.errno in _TRANSIENT_ERRNOS:
+                    return False
+                raise
+
+    def _lose(self, spec: pc.CounterSpec) -> None:
+        """Mark a counter unavailable; schedule re-registration."""
+        if spec in self._lost:
+            return
+        self._lost[spec] = (self._read_index + 1, 0)
+        self.counters_lost += 1
+        self._note("counter_lost", counter=spec.name)
+
+    def _backoff(self, attempt: int) -> None:
+        """Transient-failure backoff, charged in device time."""
+        self.device_file.clock.advance(self.RETRY_BACKOFF_S * attempt)
+
+    def _revive_due_counters(self) -> None:
+        """Retry PERFCOUNTER_GET for lost counters whose backoff expired."""
+        if not self._lost:
+            return
+        for spec in list(self._lost):
+            due, failures = self._lost[spec]
+            if self._read_index < due:
+                continue
+            if self._try_reserve(spec):
+                del self._lost[spec]
+                self._active = [c for c in self.counters if c not in self._lost]
+                self.reregistrations += 1
+                self._note("counter_restored", counter=spec.name)
+            else:
+                failures += 1
+                backoff = min(self.MAX_REREGISTER_BACKOFF, 2 ** failures)
+                self._lost[spec] = (self._read_index + backoff, failures)
+
+    def _resync_after_einval(self) -> bool:
+        """A read hit ``EINVAL``: some register was reclaimed under us.
+
+        Re-reserves every active counter; those that fail move to the
+        lost set.  Returns True when the active set changed (so the read
+        can be retried against the surviving registers).
+        """
+        changed = False
+        for spec in list(self._active):
+            if not self._try_reserve(spec):
+                self._lose(spec)
+                changed = True
+        if changed:
+            self._active = [c for c in self.counters if c not in self._lost]
+        return changed
 
     # ------------------------------------------------------------------
 
-    def read_once(self) -> Dict[pc.CounterId, int]:
-        """Blockread all selected counters at the current device clock."""
-        read = KgslPerfcounterRead(
-            reads=[
-                KgslPerfcounterReadGroup(groupid=int(s.group), countable=s.countable)
-                for s in self.counters
-            ]
-        )
-        self.device_file.ioctl(IOCTL_KGSL_PERFCOUNTER_READ, read)
-        return {
-            (pc.CounterGroup(slot.groupid), slot.countable): slot.value
-            for slot in read.reads
-        }
+    def read_once(self) -> Optional[Dict[pc.CounterId, int]]:
+        """Blockread the available selected counters at the device clock.
+
+        Resilient form: retries transient failures with backoff and
+        resynchronizes the reservation set when a register has been
+        reclaimed.  Counters currently lost are simply absent from the
+        returned mapping (the caller records them as *missing*, not 0).
+        Returns ``None`` when even the retries could not complete the
+        read — the wakeup is abandoned, equivalent to a dropped sample.
+        """
+        self._read_index += 1
+        attempt = 0
+        while True:
+            self._revive_due_counters()
+            active = self._active
+            if not active:
+                # every register is held elsewhere: a read of nothing
+                return {}
+            read = KgslPerfcounterRead(
+                reads=[
+                    KgslPerfcounterReadGroup(groupid=int(s.group), countable=s.countable)
+                    for s in active
+                ]
+            )
+            try:
+                self.device_file.ioctl(IOCTL_KGSL_PERFCOUNTER_READ, read)
+            except IoctlError as exc:
+                if self.fault_injector is None:
+                    raise
+                if exc.errno in _TRANSIENT_ERRNOS:
+                    if attempt < self.MAX_READ_RETRIES:
+                        attempt += 1
+                        self.retries += 1
+                        self._note("read_retry", errno=exc.errno, attempt=attempt)
+                        self._backoff(attempt)
+                        continue
+                    # persistently busy: abandon this wakeup, keep going
+                    self._note("read_abandoned", errno=exc.errno)
+                    return None
+                if exc.errno == _EINVAL and self._resync_after_einval():
+                    continue
+                raise
+            return {
+                (pc.CounterGroup(slot.groupid), slot.countable): slot.value
+                for slot in read.reads
+            }
+
+    def _missing_now(self) -> Tuple[pc.CounterId, ...]:
+        if not self._lost:
+            return ()
+        return tuple(sorted(spec.counter_id for spec in self._lost))
 
     def _scheduling_delay(self, load: SystemLoad) -> Optional[float]:
         """Actual-minus-nominal read latency; None if the read is skipped.
@@ -181,21 +370,45 @@ class PerfCounterSampler:
         mode, say — really does stop the polling, exactly like the
         Android service it models.
         """
+        injector = self.fault_injector
         nominal = t0
         last_t = -1.0
         while nominal < t1:
             delay = self._scheduling_delay(load)
+            if injector is not None and delay is not None:
+                if injector.drop_sample():
+                    delay = None
+                    self._note("sample_dropped", nominal_t=nominal)
+                else:
+                    jitter = injector.extra_delay()
+                    if jitter:
+                        delay += jitter
+                        self._note("clock_jitter", nominal_t=nominal, jitter_s=jitter)
             if delay is None:
                 self.reads_dropped += 1
             else:
                 # reads are issued by one thread, so they stay monotone even
                 # when a coalesced wakeup overshoots the next nominal tick
                 read_t = max(nominal + delay, last_t + 1e-5)
-                last_t = read_t
                 self.device_file.clock.set(max(self.device_file.clock.now, read_t))
                 values = self.read_once()
+                if values is None:
+                    # retries exhausted: the wakeup produced no data
+                    self.reads_dropped += 1
+                    nominal += self.interval_s
+                    continue
                 self.reads_issued += 1
-                yield PcSample(nominal_t=nominal, t=read_t, values=values)
+                if injector is not None and self.device_file.clock.now > read_t:
+                    # retry backoff consumed device time: the observation
+                    # really happened when the read finally succeeded
+                    read_t = self.device_file.clock.now
+                last_t = read_t
+                yield PcSample(
+                    nominal_t=nominal,
+                    t=read_t,
+                    values=values,
+                    missing=self._missing_now(),
+                )
             nominal += self.interval_s
 
     def sample_range(
@@ -205,10 +418,36 @@ class PerfCounterSampler:
         return list(self.iter_samples(t0, t1, load=load))
 
 
+def masked_delta(prev: PcSample, cur: PcSample) -> PcDelta:
+    """Difference two samples whose counter sets may disagree.
+
+    Only counters present in *both* endpoints are differenced — a counter
+    re-registered after a reclamation window would otherwise produce a
+    bogus delta equal to its whole cumulative value.  Counters absent
+    from either endpoint are reported in ``missing``.
+    """
+    common = prev.values.keys() & cur.values.keys()
+    diff = pc.delta(
+        {cid: prev.values[cid] for cid in common},
+        {cid: cur.values[cid] for cid in common},
+    )
+    missing = set(prev.missing) | set(cur.missing)
+    missing.update(cid for cid in prev.values.keys() ^ cur.values.keys())
+    return PcDelta(
+        t=cur.t,
+        prev_t=prev.t,
+        values=diff,
+        missing=tuple(sorted(missing)),
+    )
+
+
 def deltas(samples: Sequence[PcSample]) -> List[PcDelta]:
     """Consecutive-sample differences — the attack's raw event stream."""
     out: List[PcDelta] = []
     for prev, cur in zip(samples, samples[1:]):
+        if prev.missing or cur.missing or prev.values.keys() != cur.values.keys():
+            out.append(masked_delta(prev, cur))
+            continue
         diff = pc.delta(prev.values, cur.values)
         out.append(PcDelta(t=cur.t, prev_t=prev.t, values=diff))
     return out
@@ -235,6 +474,12 @@ def nonzero_deltas_vectorized(
     if len(chain) < 2:
         return []
     counter_ids = list(chain[0].values.keys())
+    if any(s.missing for s in chain) or any(
+        s.values.keys() != chain[0].values.keys() for s in chain[1:]
+    ):
+        # heterogeneous counter sets (reclamation in the window): fall
+        # back to pairwise masked differencing — correctness over speed
+        return [d for pr, cu in zip(chain, chain[1:]) for d in [masked_delta(pr, cu)] if d]
     matrix = np.array(
         [[s.values[cid] for cid in counter_ids] for s in chain], dtype=np.int64
     )

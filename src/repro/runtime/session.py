@@ -71,6 +71,8 @@ class Session:
         self.last_t = float(getattr(source, "start_t", 0.0))
         self.events_dispatched = 0
         self.mode_switches = 0
+        self.degraded = False
+        self.degraded_reasons: List[str] = []
         self.runtime: Optional["SessionRuntime"] = None
         self._iter: Optional[Iterator[SourceEvent]] = None
         self._replacement: Optional[Tuple[EventSource, List[Stage]]] = None
@@ -81,6 +83,19 @@ class Session:
     def trace(self) -> RuntimeTrace:
         assert self.runtime is not None, "session is not attached to a runtime"
         return self.runtime.trace
+
+    def mark_degraded(self, t: float, reason: str) -> None:
+        """Record that this session is running in degraded mode.
+
+        Emits one ``degraded`` trace event per distinct *reason* (the
+        event log stays bounded however noisy the fault plan is); the
+        session-level flag feeds the final result objects.
+        """
+        self.degraded = True
+        if reason in self.degraded_reasons:
+            return
+        self.degraded_reasons.append(reason)
+        self.trace.emit(t, self.id, "runtime", "degraded", detail=reason)
 
     def switch_mode(self, source: EventSource, stages: Sequence[Stage]) -> None:
         """Replace this session's source and stage chain.

@@ -18,6 +18,7 @@ watch keeps ``chunk=1`` so escalation happens on the confirming read).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Iterator, List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.kgsl.sampler import (
@@ -26,6 +27,7 @@ from repro.kgsl.sampler import (
     PcSample,
     PerfCounterSampler,
     SystemLoad,
+    masked_delta,
     nonzero_deltas_vectorized,
 )
 from repro.gpu import counters as pc
@@ -66,7 +68,13 @@ class SamplerDeltaSource:
         chunk: reads pulled per step.  ``1`` differences sample pairs
             incrementally; larger values batch reads through the
             vectorized extractor.
+        gap_factor: a delta spanning more than ``gap_factor`` nominal
+            sampling intervals is flagged ``gap=True`` (reads between
+            its endpoints were dropped or deferred).
     """
+
+    #: Default sample-spacing multiple beyond which a delta is a gap.
+    GAP_FACTOR = 3.0
 
     def __init__(
         self,
@@ -75,15 +83,20 @@ class SamplerDeltaSource:
         t1: float,
         load: SystemLoad = IDLE,
         chunk: int = 1,
+        gap_factor: float = GAP_FACTOR,
     ) -> None:
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
+        if gap_factor <= 1.0:
+            raise ValueError("gap_factor must exceed 1")
         self.sampler = sampler
         self.t0 = t0
         self.t1 = t1
         self.load = load
         self.chunk = chunk
+        self.gap_factor = gap_factor
         self.deltas_emitted = 0
+        self.gaps_detected = 0
 
     @property
     def start_t(self) -> float:
@@ -101,13 +114,25 @@ class SamplerDeltaSource:
         else:
             yield from self._chunked(ticks)
 
+    def _finalize(self, delta: PcDelta) -> PcDelta:
+        """Stamp the gap flag on a delta spanning missed reads."""
+        if delta.t - delta.prev_t > self.gap_factor * self.sampler.interval_s:
+            self.gaps_detected += 1
+            if not delta.gap:
+                delta = replace(delta, gap=True)
+        return delta
+
     def _incremental(self, ticks: Iterator[PcSample]) -> Iterator[SourceEvent]:
         prev: Optional[PcSample] = None
         for sample in ticks:
             if prev is not None:
-                diff = pc.delta(prev.values, sample.values)
-                delta = PcDelta(t=sample.t, prev_t=prev.t, values=diff)
+                if prev.missing or sample.missing or prev.values.keys() != sample.values.keys():
+                    delta = masked_delta(prev, sample)
+                else:
+                    diff = pc.delta(prev.values, sample.values)
+                    delta = PcDelta(t=sample.t, prev_t=prev.t, values=diff)
                 if delta:
+                    delta = self._finalize(delta)
                     self.deltas_emitted += 1
                     yield (delta.t, delta)
             prev = sample
@@ -123,6 +148,7 @@ class SamplerDeltaSource:
             if not batch:
                 return
             for delta in nonzero_deltas_vectorized(batch, prev=prev):
+                delta = self._finalize(delta)
                 self.deltas_emitted += 1
                 yield (delta.t, delta)
             prev = batch[-1]

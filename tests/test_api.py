@@ -1,0 +1,179 @@
+"""Tests for the stable public facade (:mod:`repro.api`).
+
+The facade is the supported surface for downstream users: typed
+configuration, five entry points, a shared result protocol, and a
+guarantee that the examples and the CLI consume nothing else.
+"""
+
+import dataclasses
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api import (
+    CHASE,
+    AttackConfig,
+    AttackResult,
+    FaultPlan,
+    OnlineResult,
+    ServiceReport,
+    SessionResult,
+    attack,
+    monitor,
+    run_sessions,
+    simulate,
+    train,
+)
+from repro.core.pipeline import EavesdropAttack
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CREDENTIAL = "secretpw1"
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return AttackConfig(recognize_device=False)
+
+
+@pytest.fixture(scope="module")
+def trace(config, cfg):
+    return simulate(config, CHASE, CREDENTIAL, seed=3, config=cfg)
+
+
+def launch_session(config, text="secret12"):
+    """A victim session with an app-launch burst, for the service path."""
+    device = api.VictimDevice(config, CHASE, rng=np.random.default_rng(31))
+    events = [api.KeyPress(t=3.0 + 0.45 * i, char=c) for i, c in enumerate(text)]
+    return device.compile(events, end_time_s=9.0, launch_at_s=1.2)
+
+
+class TestAttackConfig:
+    def test_defaults_are_valid(self):
+        cfg = AttackConfig()
+        assert cfg.interval_s > 0
+        assert cfg.fault_plan == "auto"
+        assert cfg.load.cpu_utilization == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"interval_s": 0.0},
+        {"idle_interval_s": -0.1},
+        {"attack_window_s": 0.0},
+        {"chunk": 0},
+        {"cpu_utilization": 1.5},
+        {"gpu_utilization": -0.2},
+        {"sweep_repeats": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AttackConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            AttackConfig().interval_s = 0.1  # type: ignore[misc]
+
+    def test_dict_round_trip_with_defaults(self):
+        cfg = AttackConfig()
+        assert AttackConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_dict_round_trip_with_nested_fault_plan(self):
+        cfg = AttackConfig(fault_plan=FaultPlan.from_profile("mild", seed=9))
+        data = cfg.to_dict()
+        assert isinstance(data["fault_plan"], dict)
+        assert AttackConfig.from_dict(data) == cfg
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown AttackConfig fields"):
+            AttackConfig.from_dict({"interva1_s": 0.008})
+
+    def test_resolved_fault_plan(self, monkeypatch):
+        monkeypatch.delenv(api.FAULT_PROFILE_ENV, raising=False)
+        assert AttackConfig(fault_plan=None).resolved_fault_plan() is None
+        assert AttackConfig().resolved_fault_plan() is None
+        plan = AttackConfig(fault_plan="harsh").resolved_fault_plan()
+        assert plan is not None and plan.profile == "harsh"
+
+
+class TestFacade:
+    def test_train_matches_pipeline_defaults(self, config, chase_model, cfg):
+        store = train([(config, CHASE)], config=cfg)
+        assert store.keys() == [chase_model.model_key]
+        assert store.get(store.keys()[0]).cth == chase_model.cth
+
+    def test_attack_matches_direct_pipeline(self, chase_store, trace, cfg, monkeypatch):
+        monkeypatch.delenv(api.FAULT_PROFILE_ENV, raising=False)
+        via_facade = attack(chase_store, trace, seed=77, config=cfg)
+        direct = EavesdropAttack(
+            chase_store, recognize_device=False, fault_plan=None
+        ).run_on_trace(trace, seed=77)
+        assert via_facade.text == direct.text
+        assert via_facade.reads_issued == direct.reads_issued
+
+    def test_run_sessions_batches(self, chase_store, config, cfg, monkeypatch):
+        monkeypatch.delenv(api.FAULT_PROFILE_ENV, raising=False)
+        traces = [
+            simulate(config, CHASE, CREDENTIAL, seed=3 + i, config=cfg)
+            for i in range(2)
+        ]
+        results = run_sessions(chase_store, traces, seed=55, config=cfg)
+        assert len(results) == 2
+        assert all(isinstance(r, AttackResult) for r in results)
+
+    def test_monitor_runs_the_service(self, chase_store, config, monkeypatch):
+        monkeypatch.delenv(api.FAULT_PROFILE_ENV, raising=False)
+        report = monitor(chase_store, launch_session(config), seed=77)
+        assert isinstance(report, ServiceReport)
+        assert report.launch_detected_at is not None
+        assert report.text == "secret12"
+
+    def test_all_names_resolve(self):
+        missing = [name for name in api.__all__ if not hasattr(api, name)]
+        assert missing == []
+
+
+class TestResultProtocol:
+    """Every result type exposes keys / text / stats / trace."""
+
+    def test_attack_result_satisfies_protocol(self, chase_store, trace, cfg):
+        result = attack(chase_store, trace, seed=77, config=cfg)
+        assert isinstance(result, SessionResult)
+        assert result.text == "".join(k.char for k in result.keys if not k.deleted)
+        assert result.stats is result.online.stats
+        assert result.trace is not None
+
+    def test_online_result_satisfies_protocol(self):
+        assert isinstance(OnlineResult(), SessionResult)
+
+    def test_service_report_satisfies_protocol(self, chase_store, config):
+        report = monitor(chase_store, launch_session(config), seed=77)
+        assert isinstance(report, SessionResult)
+        assert report.text == report.inferred_text
+
+    def test_samples_taken_alias_warns_once_per_call(self, chase_store, trace, cfg):
+        result = attack(chase_store, trace, seed=77, config=cfg)
+        with pytest.deprecated_call():
+            legacy = result.samples_taken
+        assert legacy == result.reads_issued
+
+
+class TestConsumersUseOnlyTheFacade:
+    """Meta-test: examples and the CLI must import repro.api only."""
+
+    CONSUMERS = sorted(
+        list((REPO_ROOT / "examples").glob("*.py"))
+        + [REPO_ROOT / "src" / "repro" / "cli.py"]
+    )
+
+    @pytest.mark.parametrize("path", CONSUMERS, ids=lambda p: p.name)
+    def test_imports_only_repro_api(self, path):
+        source = path.read_text()
+        offenders = [
+            line.strip()
+            for line in source.splitlines()
+            if re.match(r"^(from|import)\s+repro", line)
+            and not re.match(r"^from\s+repro\.api\s+import\b", line)
+        ]
+        assert offenders == [], f"{path.name} bypasses repro.api: {offenders}"

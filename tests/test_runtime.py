@@ -370,7 +370,7 @@ class TestPipelineOnRuntime:
             assert got.text == want.text
             assert got.online.keys == want.online.keys
             assert got.online.stats == want.online.stats
-            assert got.samples_taken == want.samples_taken
+            assert got.reads_issued == want.reads_issued
             assert got.reads_dropped == want.reads_dropped
 
     def test_service_trace_shows_mode_switch(self, chase_store, config):

@@ -15,6 +15,7 @@ environment variable.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -42,3 +43,18 @@ def chase():
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def write_bench_manifest(name: str, registry, **meta):
+    """Write a bench's run manifest to ``BENCH_<name>.json``.
+
+    The output directory is ``REPRO_BENCH_OUT`` when set, otherwise this
+    ``benchmarks/`` directory (the files are gitignored).  Benches pass
+    their headline numbers as registry gauges so the manifest doubles as
+    a machine-readable result record.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent))
+    path = out_dir / f"BENCH_{name}.json"
+    registry.manifest(bench=name, scale=SCALE, **meta).write(path)
+    print(f"\nwrote bench manifest: {path}")
+    return path

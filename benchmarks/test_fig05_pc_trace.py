@@ -34,7 +34,7 @@ def test_fig05_pc_trace(benchmark, config, chase):
     print("\nFig 5 — PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ changes:")
     for delta in nonzero_deltas(samples):
         labels = [f.label for f in frames if f.start_s < delta.t and f.end_s > delta.prev_t]
-        lrz13 = delta.get(pc.LRZ_VISIBLE_PRIM_AFTER_LRZ)
+        lrz13 = delta.get(pc.LRZ_VISIBLE_PRIM_AFTER_LRZ, default=0)
         if len(labels) == 1 and labels[0].startswith("press:"):
             char = labels[0].split(":")[1]
             press_deltas[char].append(delta.values)

@@ -1,0 +1,74 @@
+"""Observability overhead: an enabled registry must cost under 5 %.
+
+The obs layer (``repro.obs``) promises two things about cost.  With the
+default :data:`~repro.obs.NULL_REGISTRY` the instrumented paths run the
+same instruction stream as uninstrumented code (parity is asserted in
+``tests/test_obs.py``); this bench pins the *enabled* side: a live
+:class:`MetricsRegistry` — counters flushed at stage boundaries, the
+per-inference latency histogram, spans around the run and extraction —
+must stay within 5 % of the uninstrumented attack.
+
+Emits ``BENCH_obs.json``: the final observed run's own manifest plus
+the headline overhead numbers as gauges.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from conftest import run_once, write_bench_manifest
+from repro.core.model_store import ModelStore
+from repro.core.pipeline import EavesdropAttack, simulate_credential_entry, train_model
+from repro.obs import MetricsRegistry
+
+pytestmark = pytest.mark.bench
+
+CREDENTIAL = "hunter2pw"
+ROUNDS = 7
+
+
+@pytest.fixture(scope="module")
+def store(config, chase):
+    store = ModelStore()
+    store.add(train_model(config, chase, seed=7))
+    return store
+
+
+@pytest.fixture(scope="module")
+def trace(config, chase):
+    return simulate_credential_entry(config, chase, CREDENTIAL, seed=1)
+
+
+def median_runtime(store, trace, registry_factory):
+    times, registry = [], None
+    for _ in range(ROUNDS):
+        registry = registry_factory()
+        attack = EavesdropAttack(
+            store, recognize_device=False, fault_plan=None, metrics=registry
+        )
+        started = time.perf_counter()
+        attack.run_on_trace(trace, seed=101)
+        times.append(time.perf_counter() - started)
+    return statistics.median(times), registry
+
+
+def test_enabled_registry_adds_under_5_percent(benchmark, store, trace):
+    baseline, _ = median_runtime(store, trace, lambda: None)
+    observed, registry = run_once(
+        benchmark, lambda: median_runtime(store, trace, MetricsRegistry)
+    )
+    overhead = observed / baseline - 1.0
+    print(
+        f"\nobs registry on: baseline {baseline * 1e3:.1f} ms, "
+        f"observed {observed * 1e3:.1f} ms ({overhead:+.1%})"
+    )
+    print(f"  counters collected : {len(registry.snapshot()['counters'])}")
+    print(f"  latency samples    : {registry.histogram('engine.inference_latency_s').count}")
+
+    registry.gauge("bench.baseline_s").set(baseline)
+    registry.gauge("bench.observed_s").set(observed)
+    registry.gauge("bench.overhead_frac").set(overhead)
+    write_bench_manifest("obs", registry, rounds=ROUNDS)
+
+    assert overhead < 0.05, "an enabled metrics registry must stay within 5% of baseline"

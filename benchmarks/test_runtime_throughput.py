@@ -17,7 +17,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import run_once, scaled
+from conftest import run_once, scaled, write_bench_manifest
 from repro.analysis.experiments import cached_model
 from repro.core.model_store import ModelStore
 from repro.core.pipeline import (
@@ -31,6 +31,7 @@ from repro.kgsl.sampler import (
     nonzero_deltas,
     nonzero_deltas_vectorized,
 )
+from repro.obs import MetricsRegistry
 from repro.runtime import RuntimeTrace
 
 pytestmark = pytest.mark.bench
@@ -44,7 +45,8 @@ def test_runtime_concurrent_sessions(benchmark, config, chase):
     sessions = scaled(100)
     store = ModelStore()
     store.add(cached_model(config, chase))
-    attack = EavesdropAttack(store, recognize_device=False)
+    registry = MetricsRegistry()
+    attack = EavesdropAttack(store, recognize_device=False, metrics=registry)
 
     traces = [
         simulate_credential_entry(
@@ -75,6 +77,9 @@ def test_runtime_concurrent_sessions(benchmark, config, chase):
     print("  engine decisions (shared trace):")
     for (stage, kind), count in sorted(runtime_trace.counters.items()):
         print(f"    {stage:>12s}.{kind:<22s}: {count}")
+
+    registry.gauge("bench.exact_rate").set(exact / sessions)
+    write_bench_manifest("runtime", registry, sessions=sessions)
 
     assert len(results) == sessions
     assert all(r is not None for r in results)

@@ -72,11 +72,15 @@ def main() -> None:
         f"{stats.splits_recovered} splits recovered, "
         f"{stats.noise_events} noise events"
     )
-    if result.inference_times_s:
+    if result.latency.count:
         import numpy as np
 
-        median_us = float(np.median(result.inference_times_s)) * 1e6
-        print(f"inference latency   : median {median_us:.0f} us per PC change")
+        median_us = float(np.median(result.latency.samples)) * 1e6
+        under_bound = result.latency.fraction_below(1e-4)
+        print(
+            f"inference latency   : median {median_us:.0f} us per PC change, "
+            f"{under_bound:.0%} under 0.1 ms (Fig 25)"
+        )
 
 
 if __name__ == "__main__":

@@ -103,7 +103,7 @@ def run_credential_batch(
         )
         attack_result = attack.run_on_trace(trace, seed=seed + 31 * i + 2, load=load)
         result.report.add(text, attack_result.text)
-        result.inference_times_s.extend(attack_result.inference_times_s)
+        result.inference_times_s.extend(attack_result.latency.samples or ())
     return result
 
 

@@ -72,7 +72,9 @@ def annotate(
                 t=delta.t,
                 prev_t=delta.prev_t,
                 total=delta.total,
-                lrz13=delta.get(pc.LRZ_VISIBLE_PRIM_AFTER_LRZ),
+                # display-only: a masked counter renders as 0 here, but the
+                # mask still travels in the delta for real consumers
+                lrz13=delta.get(pc.LRZ_VISIBLE_PRIM_AFTER_LRZ, default=0),
                 truth_labels=tuple(f.label for f in involved),
                 classified=label,
                 distance=distance,

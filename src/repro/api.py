@@ -75,7 +75,20 @@ from repro.core.pipeline import (
     ATTACK_SOURCE_CHUNK,
     AttackResult,
     EavesdropAttack,
+    SessionBatch,
     simulate_credential_entry,
+)
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    RunManifest,
+    Span,
+    SpanStats,
+    new_latency_histogram,
 )
 from repro.core.pipeline import run_sessions as _pipeline_run_sessions
 from repro.core.pipeline import train_model, train_store
@@ -178,6 +191,18 @@ __all__ = [
     # runtime observability
     "RuntimeTrace",
     "RuntimeEvent",
+    # metrics / manifests
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "RunManifest",
+    "SessionBatch",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SpanStats",
+    "new_latency_histogram",
     # workloads / mitigations
     "credential_batch",
     "character_group",
@@ -273,7 +298,11 @@ class AttackConfig:
 _DEFAULT_CONFIG = AttackConfig()
 
 
-def _attacker(store: ModelStore, config: AttackConfig) -> EavesdropAttack:
+def _attacker(
+    store: ModelStore,
+    config: AttackConfig,
+    metrics: Optional[MetricsRegistry] = None,
+) -> EavesdropAttack:
     return EavesdropAttack(
         store,
         interval_s=config.interval_s,
@@ -282,7 +311,15 @@ def _attacker(store: ModelStore, config: AttackConfig) -> EavesdropAttack:
         track_corrections=config.track_corrections,
         recover_collisions=config.recover_collisions,
         fault_plan=config.fault_plan,
+        metrics=metrics,
     )
+
+
+def _attach_manifest(result, metrics, config: AttackConfig, **meta) -> None:
+    """Rebuild the run manifest with the resolved config embedded (the
+    lower layers attach a config-less one)."""
+    if metrics is not None and metrics.enabled:
+        result.manifest = metrics.manifest(config=config.to_dict(), **meta)
 
 
 def train(
@@ -328,10 +365,16 @@ def attack(
     model_key: Optional[str] = None,
     access_policy=None,
     runtime_trace: Optional[RuntimeTrace] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> AttackResult:
-    """Online phase: sample one victim session and infer the credential."""
+    """Online phase: sample one victim session and infer the credential.
+
+    Pass a :class:`MetricsRegistry` as ``metrics`` to collect sampler,
+    engine, and scheduler instrumentation for the run; the resulting
+    :class:`RunManifest` is attached as ``result.manifest``.
+    """
     config = config if config is not None else _DEFAULT_CONFIG
-    return _attacker(store, config).run_on_trace(
+    result = _attacker(store, config, metrics=metrics).run_on_trace(
         trace,
         load=config.load,
         seed=seed,
@@ -339,6 +382,8 @@ def attack(
         access_policy=access_policy,
         runtime_trace=runtime_trace,
     )
+    _attach_manifest(result, metrics, config, command="attack", sessions=1)
+    return result
 
 
 def run_sessions(
@@ -347,16 +392,26 @@ def run_sessions(
     seed: int = 99,
     config: Optional[AttackConfig] = None,
     runtime_trace: Optional[RuntimeTrace] = None,
-) -> List[AttackResult]:
-    """Batched online phase: N victim sessions on one session runtime."""
+    metrics: Optional[MetricsRegistry] = None,
+) -> SessionBatch:
+    """Batched online phase: N victim sessions on one session runtime.
+
+    Returns a :class:`SessionBatch` — a list of :class:`AttackResult`
+    whose ``manifest`` attribute carries the batch-level
+    :class:`RunManifest` when ``metrics`` is an enabled registry.
+    """
     config = config if config is not None else _DEFAULT_CONFIG
-    return _pipeline_run_sessions(
-        _attacker(store, config),
+    batch = _pipeline_run_sessions(
+        _attacker(store, config, metrics=metrics),
         traces,
         load=config.load,
         seed=seed,
         runtime_trace=runtime_trace,
     )
+    _attach_manifest(
+        batch, metrics, config, command="run_sessions", sessions=len(traces)
+    )
+    return batch
 
 
 def monitor(
@@ -366,8 +421,14 @@ def monitor(
     config: Optional[AttackConfig] = None,
     watch_model_key: Optional[str] = None,
     runtime_trace: Optional[RuntimeTrace] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ServiceReport:
-    """Run the full background monitoring service over a victim session."""
+    """Run the full background monitoring service over a victim session.
+
+    With an enabled ``metrics`` registry, the report's ``manifest``
+    carries the full run rollup (idle + attack sampler tallies, fault
+    events, inference-latency histogram, scheduler throughput).
+    """
     config = config if config is not None else _DEFAULT_CONFIG
     service = MonitoringService(
         store,
@@ -375,11 +436,14 @@ def monitor(
         attack_interval_s=config.interval_s,
         attack_window_s=config.attack_window_s,
         fault_plan=config.fault_plan,
+        metrics=metrics,
     )
-    return service.run(
+    report = service.run(
         trace,
         load=config.load,
         seed=seed,
         watch_model_key=watch_model_key,
         runtime_trace=runtime_trace,
     )
+    _attach_manifest(report, metrics, config, command="monitor", sessions=1)
+    return report

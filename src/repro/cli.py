@@ -32,6 +32,7 @@ from repro.api import (
     CandidateGenerator,
     DeviceConfig,
     FaultPlan,
+    MetricsRegistry,
     app,
     attack,
     bar_chart,
@@ -65,6 +66,16 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="collect run metrics (sampler/fault/latency/throughput) and "
+        "write the JSON run manifest to PATH",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -85,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="victim sessions to run concurrently on one session runtime",
     )
     _add_fault_flags(steal)
+    _add_metrics_flag(steal)
 
     train_p = sub.add_parser("train", help="offline phase: train and save models")
     train_p.add_argument("output", help="model store JSON path")
@@ -107,6 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="victim sessions to run concurrently on one session runtime",
     )
     _add_fault_flags(attack_p)
+    _add_metrics_flag(attack_p)
 
     survey = sub.add_parser("survey", help="per-key weak spots for a keyboard")
     survey.add_argument("--keyboard", default="gboard")
@@ -142,7 +155,25 @@ def _fault_summary(result) -> str:
     )
 
 
-def _run_batched(store, cfg, config, target, credential, seed, sessions) -> int:
+def _metrics_registry(args) -> Optional[MetricsRegistry]:
+    return MetricsRegistry() if getattr(args, "metrics_out", None) else None
+
+
+def _write_manifest(args, cfg, registry, command: str, sessions: int) -> None:
+    """Snapshot the registry into the manifest file ``--metrics-out``
+    names (taken last, so CLI-level rollups are included)."""
+    if registry is None:
+        return
+    manifest = registry.manifest(
+        config=cfg.to_dict(), command=command, sessions=sessions
+    )
+    manifest.write(args.metrics_out)
+    print(f"metrics  : wrote run manifest to {args.metrics_out}")
+
+
+def _run_batched(
+    store, cfg, config, target, credential, seed, sessions, registry=None
+) -> int:
     """Run ``sessions`` concurrent victims on one session runtime and
     print per-session outcomes plus the aggregate accuracy."""
     traces = [
@@ -150,7 +181,9 @@ def _run_batched(store, cfg, config, target, credential, seed, sessions) -> int:
         for i in range(sessions)
     ]
     started = time.perf_counter()
-    results = run_sessions(store, traces, seed=seed + 1000, config=cfg)
+    results = run_sessions(
+        store, traces, seed=seed + 1000, config=cfg, metrics=registry
+    )
     elapsed = time.perf_counter() - started
     exact = sum(1 for r in results if r.text == credential)
     for i, result in enumerate(results):
@@ -160,6 +193,12 @@ def _run_batched(store, cfg, config, target, credential, seed, sessions) -> int:
     print(f"sessions       : {sessions}")
     print(f"exact matches  : {exact}/{sessions} ({exact / sessions:.1%})")
     print(f"throughput     : {sessions / elapsed:.1f} sessions/s")
+    if registry is not None:
+        # batch-accuracy rollup joins the manifest before it is written
+        registry.counter("accuracy.sessions").inc(sessions)
+        registry.counter("accuracy.exact_matches").inc(exact)
+        registry.gauge("accuracy.exact_rate").set(exact / sessions)
+        registry.gauge("cli.wall_s").set(elapsed)
     return 0 if exact * 2 >= sessions else 1
 
 
@@ -167,20 +206,25 @@ def _cmd_steal(args) -> int:
     config = _config(args.phone, args.keyboard)
     target = app(args.app)
     cfg = _attack_config(args, recognize_device=False)
+    registry = _metrics_registry(args)
     print(f"training model for {config.config_key()} / {target.name} ...")
     store = train([(config, target)], config=cfg)
     if args.sessions > 1:
-        return _run_batched(
-            store, cfg, config, target, args.credential, args.seed, args.sessions
+        code = _run_batched(
+            store, cfg, config, target, args.credential, args.seed, args.sessions,
+            registry=registry,
         )
+        _write_manifest(args, cfg, registry, "steal", args.sessions)
+        return code
     trace = simulate(config, target, args.credential, seed=args.seed, config=cfg)
-    result = attack(store, trace, seed=args.seed + 1, config=cfg)
+    result = attack(store, trace, seed=args.seed + 1, config=cfg, metrics=registry)
     print(f"typed    : {args.credential!r}")
     print(f"inferred : {result.text!r}")
     print("outcome  : " + ("EXACT" if result.text == args.credential else "partial"))
     summary = _fault_summary(result)
     if summary:
         print(summary)
+    _write_manifest(args, cfg, registry, "steal", 1)
     return 0 if result.text == args.credential else 1
 
 
@@ -206,18 +250,23 @@ def _cmd_attack(args) -> int:
     config = _config(args.phone, args.keyboard)
     target = app(args.app)
     cfg = _attack_config(args)
+    registry = _metrics_registry(args)
     if args.sessions > 1:
-        return _run_batched(
-            store, cfg, config, target, args.credential, args.seed, args.sessions
+        code = _run_batched(
+            store, cfg, config, target, args.credential, args.seed, args.sessions,
+            registry=registry,
         )
+        _write_manifest(args, cfg, registry, "attack", args.sessions)
+        return code
     trace = simulate(config, target, args.credential, seed=args.seed, config=cfg)
-    result = attack(store, trace, seed=args.seed + 1, config=cfg)
+    result = attack(store, trace, seed=args.seed + 1, config=cfg, metrics=registry)
     print(f"recognized: {result.model_key}")
     print(f"typed     : {args.credential!r}")
     print(f"inferred  : {result.text!r}")
     summary = _fault_summary(result)
     if summary:
         print(summary)
+    _write_manifest(args, cfg, registry, "attack", 1)
     if result.text != args.credential and args.guesses > 1:
         model = store.get(result.model_key)
         generator = CandidateGenerator(model)

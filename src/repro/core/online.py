@@ -35,7 +35,7 @@ latencies reproduce the paper's Fig 25 (>95 % of inferences under 0.1 ms).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -46,6 +46,7 @@ from repro.core.corrections import CorrectionTracker
 from repro.core import features
 from repro.core.dedup import DEDUP_WINDOW_S, DuplicationFilter
 from repro.kgsl.sampler import PcDelta
+from repro.obs import Histogram, MetricsRegistry, new_latency_histogram, resolve_registry
 from repro.runtime.trace import RuntimeTrace
 
 #: Maximum gap between two reads for split recombination: a render split
@@ -91,12 +92,28 @@ class EngineStats:
 
 @dataclass
 class OnlineResult:
-    """Full output of one eavesdropping run."""
+    """Full output of one eavesdropping run.
+
+    ``latency`` is the per-inference classifier-latency histogram (Fig
+    25); it retains its raw samples, so the deprecated
+    ``inference_times_s`` list accessor keeps returning exact values for
+    one release.
+    """
 
     keys: List[InferredKey] = field(default_factory=list)
     stats: EngineStats = field(default_factory=EngineStats)
-    inference_times_s: List[float] = field(default_factory=list)
+    latency: Histogram = field(default_factory=new_latency_histogram)
     trace: Optional[RuntimeTrace] = None
+
+    @property
+    def inference_times_s(self) -> List[float]:
+        """Deprecated raw latency list; use ``latency`` (histogram)."""
+        from repro.core.results import warn_deprecated
+
+        warn_deprecated(
+            "OnlineResult.inference_times_s", "OnlineResult.latency.samples"
+        )
+        return list(self.latency.samples or ())
 
     @property
     def text(self) -> str:
@@ -125,6 +142,7 @@ class OnlineEngine:
         trace: Optional[RuntimeTrace] = None,
         session: str = "",
         stage_name: str = "engine",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.interval_s = interval_s
@@ -135,6 +153,10 @@ class OnlineEngine:
         self.trace = trace
         self.session = session
         self.stage_name = stage_name
+        self.metrics = resolve_registry(metrics)
+        # resolved once: with the null registry this is the shared no-op
+        # instrument, so the hot path pays one attribute load per observe
+        self._latency_hist = self.metrics.histogram("engine.inference_latency_s")
         self._noise_ring: List = []
         self._active_model = model
         self._deflation_u = None
@@ -152,6 +174,12 @@ class OnlineEngine:
         """Record one engine decision in the shared runtime event log."""
         if self.trace is not None:
             self.trace.emit(t, self.session, self.stage_name, kind, **detail)
+
+    def _observe_latency(self, result: OnlineResult, elapsed_s: float) -> None:
+        """One classifier-call latency, into the result's own histogram
+        and the run-wide registry aggregate."""
+        result.latency.observe(elapsed_s)
+        self._latency_hist.observe(elapsed_s)
 
     @staticmethod
     def _switch_threshold(model: ClassificationModel) -> float:
@@ -231,7 +259,7 @@ class OnlineEngine:
 
         t0 = time.perf_counter()
         classification = self._classify(delta)
-        result.inference_times_s.append(time.perf_counter() - t0)
+        self._observe_latency(result, time.perf_counter() - t0)
 
         prev, prev_consumed = self._prev, self._prev_consumed
 
@@ -260,12 +288,13 @@ class OnlineEngine:
         if (
             prev is not None
             and not prev_consumed
-            and delta.t - prev.t <= self.interval_s * SPLIT_MERGE_FACTOR
+            and 0.0 <= delta.t - prev.t <= self.interval_s * SPLIT_MERGE_FACTOR
+            and prev.prev_t <= delta.prev_t
         ):
             merged = delta.merge(prev)
             t0 = time.perf_counter()
             merged_cls = self._classify(merged)
-            result.inference_times_s.append(time.perf_counter() - t0)
+            self._observe_latency(result, time.perf_counter() - t0)
         if merged_cls is not None and merged_cls.label is not None and (
             classification.label is None
             or merged_cls.distance < classification.distance
@@ -295,7 +324,7 @@ class OnlineEngine:
                     features.vectorize(delta.merge(prev)),
                     field_lengths=self._plausible_lengths(),
                 )
-                result.inference_times_s.append(time.perf_counter() - t0)
+                self._observe_latency(result, time.perf_counter() - t0)
                 if merged_composite.is_key:
                     classification = merged_composite
                     event_t = prev.t
@@ -335,6 +364,13 @@ class OnlineEngine:
         if self.switch_detector is not None and self._last_fed_t is not None:
             self.switch_detector.flush(self._last_fed_t + 1.0)
         result = self._result
+        if self.metrics.enabled:
+            # end-of-stream flush: per-session decision tallies roll up
+            # into the run-wide registry, away from the per-delta path
+            for stat_field in fields(EngineStats):
+                value = getattr(result.stats, stat_field.name)
+                if value > 0:
+                    self.metrics.counter(f"engine.{stat_field.name}").inc(value)
         self._result = None
         self._prev = None
         self._prev_consumed = True
@@ -362,7 +398,7 @@ class OnlineEngine:
         """
         t0 = time.perf_counter()
         half_cls = self._active_model.classify(delta.scaled(0.5))
-        result.inference_times_s.append(time.perf_counter() - t0)
+        self._observe_latency(result, time.perf_counter() - t0)
         if half_cls.is_key:
             return half_cls
 
@@ -371,7 +407,7 @@ class OnlineEngine:
         composite_cls = self._active_model.classify_composite(
             vec, field_lengths=self._plausible_lengths()
         )
-        result.inference_times_s.append(time.perf_counter() - t0)
+        self._observe_latency(result, time.perf_counter() - t0)
         if composite_cls.is_key:
             return composite_cls
 

@@ -43,6 +43,7 @@ from repro.kgsl.sampler import (
     PerfCounterSampler,
     SystemLoad,
 )
+from repro.obs import MetricsRegistry, RunManifest, resolve_registry
 from repro.runtime import (
     RuntimeTrace,
     SamplerDeltaSource,
@@ -136,6 +137,7 @@ class AttackResult:
     faults: Optional[faults_mod.FaultStats] = None
     degraded: bool = False
     trace: Optional[RuntimeTrace] = None
+    manifest: Optional[RunManifest] = None
 
     @property
     def keys(self) -> List[InferredKey]:
@@ -150,8 +152,15 @@ class AttackResult:
         return self.online.stats
 
     @property
+    def latency(self):
+        """The per-inference classifier-latency histogram (Fig 25)."""
+        return self.online.latency
+
+    @property
     def inference_times_s(self) -> List[float]:
-        return self.online.inference_times_s
+        """Deprecated raw latency list; use :attr:`latency` (one-release shim)."""
+        warn_deprecated("AttackResult.inference_times_s", "AttackResult.latency")
+        return list(self.online.latency.samples or ())
 
     @property
     def samples_taken(self) -> int:
@@ -184,6 +193,7 @@ class AttackStage:
         self.attack = attack
         self.kgsl = kgsl
         self.sampler = sampler
+        self.metrics = attack.metrics
         self.forced_model_key = model_key
         self.model_key: Optional[str] = None
         self.recognition: Optional[RecognitionResult] = None
@@ -238,6 +248,7 @@ class AttackStage:
             recover_collisions=attack.recover_collisions,
             trace=session.trace,
             session=session.id,
+            metrics=self.metrics,
         )
         self.engine.begin()
         for buffered in self._pending:
@@ -251,9 +262,12 @@ class AttackStage:
         injector = self.sampler.fault_injector
         if injector is None:
             return
+        count_events = self.metrics.enabled
         for kind, detail in self.sampler.drain_fault_log():
             session.trace.emit(t, session.id, self.name, kind, **detail)
             session.mark_degraded(t, kind)
+            if count_events:
+                self.metrics.counter(f"faults.events.{kind}").inc()
 
     def on_event(self, session, t: float, delta):
         self._drain_faults(session, t)
@@ -276,6 +290,11 @@ class AttackStage:
             raise ValueError("no nonzero PC changes to recognize from")
         online = self.engine.finish()
         injector = self.sampler.fault_injector
+        self.sampler.flush_metrics(self.metrics)
+        if self.metrics.enabled and injector is not None:
+            for name, value in injector.stats.as_dict().items():
+                if value > 0:
+                    self.metrics.counter(f"faults.injected.{name}").inc(value)
         session.result = AttackResult(
             online=online,
             model_key=self.model_key,
@@ -302,6 +321,7 @@ class EavesdropAttack:
         track_corrections: bool = True,
         recover_collisions: bool = True,
         fault_plan: Union[faults_mod.FaultPlan, None, str] = "auto",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if len(store) == 0:
             raise ValueError("model store is empty — run the offline phase first")
@@ -312,6 +332,7 @@ class EavesdropAttack:
         self.track_corrections = track_corrections
         self.recover_collisions = recover_collisions
         self.fault_plan = faults_mod.resolve_plan(fault_plan)
+        self.metrics = resolve_registry(metrics)
 
     def session_spec(
         self,
@@ -347,7 +368,8 @@ class EavesdropAttack:
             kgsl, interval_s=self.interval_s, rng=rng, fault_injector=injector
         )
         source = SamplerDeltaSource(
-            sampler, 0.0, trace.end_time_s, load=load, chunk=chunk
+            sampler, 0.0, trace.end_time_s, load=load, chunk=chunk,
+            metrics=self.metrics,
         )
         stage = AttackStage(self, kgsl, sampler, model_key=model_key)
         return source, [stage]
@@ -371,13 +393,24 @@ class EavesdropAttack:
             access_policy: optional mitigation enforced at the device file.
             runtime_trace: optional shared event log to record decisions in.
         """
-        runtime = SessionRuntime(trace=runtime_trace)
+        runtime = SessionRuntime(trace=runtime_trace, metrics=self.metrics)
         source, stages = self.session_spec(
             trace, load=load, seed=seed, model_key=model_key, access_policy=access_policy
         )
         session = runtime.add_session(Session("attack", source, stages))
         runtime.run()
-        return session.result
+        result = session.result
+        if self.metrics.enabled:
+            result.manifest = self.metrics.manifest(sessions=1)
+        return result
+
+
+class SessionBatch(List[AttackResult]):
+    """The results of one batched run — a plain list of
+    :class:`AttackResult`, plus the batch-level :attr:`manifest`
+    (``None`` unless the attack carried an enabled metrics registry)."""
+
+    manifest: Optional[RunManifest] = None
 
 
 def run_sessions(
@@ -386,7 +419,7 @@ def run_sessions(
     load: SystemLoad = IDLE,
     seed: int = 99,
     runtime_trace: Optional[RuntimeTrace] = None,
-) -> List[AttackResult]:
+) -> SessionBatch:
     """Batched online phase: N victim sessions on one session runtime.
 
     Every trace becomes its own runtime session (own KGSL fd, own
@@ -395,7 +428,7 @@ def run_sessions(
     running each trace alone with the same seed — the scheduler
     interleaves but never perturbs sessions.
     """
-    runtime = SessionRuntime(trace=runtime_trace)
+    runtime = SessionRuntime(trace=runtime_trace, metrics=attack.metrics)
     sessions = []
     for i, trace in enumerate(traces):
         source, stages = attack.session_spec(trace, load=load, seed=seed + i)
@@ -403,4 +436,7 @@ def run_sessions(
             runtime.add_session(Session(f"attack-{i}", source, stages))
         )
     runtime.run()
-    return [s.result for s in sessions]
+    batch = SessionBatch(s.result for s in sessions)
+    if attack.metrics.enabled:
+        batch.manifest = attack.metrics.manifest(sessions=len(sessions))
+    return batch

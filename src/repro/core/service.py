@@ -53,6 +53,7 @@ from repro.kgsl.sampler import (
     PerfCounterSampler,
     SystemLoad,
 )
+from repro.obs import MetricsRegistry, RunManifest, resolve_registry
 from repro.runtime import RuntimeTrace, SamplerDeltaSource, Session, SessionRuntime
 
 
@@ -78,6 +79,7 @@ class ServiceReport:
     trace: Optional[RuntimeTrace] = None
     faults: Optional[faults_mod.FaultStats] = None
     degraded: bool = False
+    manifest: Optional[RunManifest] = None
 
     @property
     def text(self) -> str:
@@ -107,6 +109,7 @@ class MonitoringService:
         attack_interval_s: float = DEFAULT_INTERVAL_S,
         attack_window_s: float = 60.0,
         fault_plan: Union[faults_mod.FaultPlan, None, str] = "auto",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if len(store) == 0:
             raise ValueError("model store is empty")
@@ -115,6 +118,7 @@ class MonitoringService:
         self.attack_interval_s = attack_interval_s
         self.attack_window_s = attack_window_s
         self.fault_plan = faults_mod.resolve_plan(fault_plan)
+        self.metrics = resolve_registry(metrics)
 
     def run(
         self,
@@ -163,6 +167,7 @@ class MonitoringService:
             interval_s=self.attack_interval_s,
             recognize_device=len(self.store) > 1,
             fault_plan=self.fault_plan,
+            metrics=self.metrics,
         )
         launch_info = {"event": None, "idle_reads": 0}
 
@@ -179,17 +184,26 @@ class MonitoringService:
         # the idle watch streams read-by-read (chunk=1) so the mode
         # switch lands exactly on the confirming poll
         source = SamplerDeltaSource(
-            watcher, 0.0, trace.end_time_s, load=load, chunk=1
+            watcher, 0.0, trace.end_time_s, load=load, chunk=1,
+            metrics=self.metrics,
         )
         stage = LaunchWatchStage(detector, on_launch=escalate)
 
-        runtime = SessionRuntime(trace=runtime_trace)
+        runtime = SessionRuntime(trace=runtime_trace, metrics=self.metrics)
         session = runtime.add_session(Session("service", source, [stage]))
         runtime.run()
 
+        # the idle watcher's tallies join the run-wide sampler rollup
+        # (the attack sampler's are flushed by its stage at session end)
+        watcher.flush_metrics(self.metrics)
+        if self.metrics.enabled and idle_injector is not None:
+            for name, value in idle_injector.stats.as_dict().items():
+                if value > 0:
+                    self.metrics.counter(f"faults.injected.{name}").inc(value)
+
         launch: Optional[LaunchEvent] = launch_info["event"]
         if launch is None:
-            return ServiceReport(
+            report = ServiceReport(
                 launch_detected_at=None,
                 inferred_text="",
                 idle_reads=watcher.reads_issued,
@@ -197,6 +211,8 @@ class MonitoringService:
                 faults=idle_injector.stats if idle_injector is not None else None,
                 degraded=session.degraded,
             )
+            self._flush_report(report)
+            return report
         attack_result: AttackResult = session.result
         faults = attack_result.faults
         if idle_injector is not None and faults is not None:
@@ -209,7 +225,7 @@ class MonitoringService:
             )
         elif idle_injector is not None:
             faults = idle_injector.stats
-        return ServiceReport(
+        report = ServiceReport(
             launch_detected_at=launch.t,
             inferred_text=attack_result.text,
             key_times=attack_result.online.key_times(),
@@ -223,6 +239,29 @@ class MonitoringService:
             faults=faults,
             degraded=session.degraded or attack_result.degraded,
         )
+        self._flush_report(report)
+        return report
+
+    def _flush_report(self, report: ServiceReport) -> None:
+        """Service-level rollup: what one full watch-and-attack pass
+        produced, plus the run manifest attached to the report."""
+        if not self.metrics.enabled:
+            return
+        metrics = self.metrics
+        metrics.counter("service.runs").inc()
+        metrics.counter("service.idle_reads").inc(report.idle_reads)
+        metrics.counter("service.attack_reads").inc(report.attack_reads)
+        metrics.counter("service.keys_inferred").inc(len(report.keys))
+        metrics.counter("service.deletions_detected").inc(report.deletions_detected)
+        if report.launch_detected_at is not None:
+            metrics.counter("service.launches_detected").inc()
+            metrics.gauge("service.launch_detected_at_s").set(report.launch_detected_at)
+        if report.degraded:
+            metrics.counter("service.degraded_runs").inc()
+        metrics.gauge("service.reads_saved_vs_always_on").set(
+            report.reads_saved_vs_always_on
+        )
+        report.manifest = metrics.manifest(command="monitor")
 
 
 def _window(trace: SessionTrace, start_s: float, duration_s: float) -> SessionTrace:

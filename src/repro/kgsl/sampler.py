@@ -109,14 +109,48 @@ class PcDelta:
     def degraded(self) -> bool:
         return bool(self.missing) or self.gap
 
-    def get(self, spec: pc.CounterSpec) -> int:
-        return self.values.get(spec.counter_id, 0)
+    def get(self, spec: pc.CounterSpec, default: Optional[int] = None) -> int:
+        """Change of one counter over this interval.
+
+        A counter listed in :attr:`missing` has an *unknown* change —
+        reading it silently as 0 is exactly the error downstream masking
+        exists to prevent — so a masked counter raises :class:`KeyError`
+        unless an explicit ``default`` is supplied.  A counter that was
+        simply never selected (absent from both ``values`` and
+        ``missing``) still reads as zero change, or ``default`` when one
+        is given.
+        """
+        counter_id = spec.counter_id
+        if counter_id in self.values:
+            return self.values[counter_id]
+        if counter_id in self.missing:
+            if default is None:
+                raise KeyError(
+                    f"counter {spec.name} is masked over "
+                    f"[{self.prev_t:.4f}, {self.t:.4f}] — its change is "
+                    "unknown, not zero; pass an explicit default= or "
+                    "check `missing` first"
+                )
+            return default
+        return 0 if default is None else default
 
     def __bool__(self) -> bool:
         return any(self.values.values())
 
     def merge(self, other: "PcDelta") -> "PcDelta":
-        """Combine with an *earlier* delta (Algorithm 1's split recovery)."""
+        """Combine with an *earlier* delta (Algorithm 1's split recovery).
+
+        ``other`` must cover an interval no later than this one; equal
+        timestamps are allowed so :meth:`split` parts recombine.  A
+        swapped call would fabricate a delta whose ``prev_t`` postdates
+        its ``t``, so ordering is validated rather than trusted.
+        """
+        if other.t > self.t or other.prev_t > self.prev_t:
+            raise ValueError(
+                "merge() expects the earlier delta as its argument: other "
+                f"covers [{other.prev_t:.4f}, {other.t:.4f}], which does not "
+                f"precede [{self.prev_t:.4f}, {self.t:.4f}]"
+            )
         merged = dict(other.values)
         for counter_id, value in self.values.items():
             merged[counter_id] = merged.get(counter_id, 0) + value
@@ -134,16 +168,44 @@ class PcDelta:
         )
 
     def scaled(self, factor: float) -> "PcDelta":
-        """Delta scaled by ``factor`` (duplication-halving heuristic)."""
+        """Delta scaled by ``factor`` (duplication-halving heuristic).
+
+        Values are floored deterministically: round-half-to-even would
+        lose or invent events when a halved delta is later re-merged,
+        breaking the :meth:`split` round trip.
+        """
         if factor < 0:
             raise ValueError("scale factor must be non-negative")
         return PcDelta(
             t=self.t,
             prev_t=self.prev_t,
-            values={cid: int(round(v * factor)) for cid, v in self.values.items()},
+            values={cid: int(v * factor) for cid, v in self.values.items()},
             missing=self.missing,
             gap=self.gap,
         )
+
+    def split(self, factor: float = 0.5) -> Tuple["PcDelta", "PcDelta"]:
+        """Split into ``(part, remainder)`` that merge back exactly.
+
+        ``part`` is :meth:`scaled` by ``factor``; ``remainder`` carries
+        every event the floor dropped, so
+        ``remainder.merge(part).values == self.values`` — the
+        duplication-halving round trip the old round-half-to-even
+        scaling silently broke.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("split factor must be in [0, 1]")
+        part = self.scaled(factor)
+        remainder = PcDelta(
+            t=self.t,
+            prev_t=self.prev_t,
+            values={
+                cid: v - part.values[cid] for cid, v in self.values.items()
+            },
+            missing=self.missing,
+            gap=self.gap,
+        )
+        return part, remainder
 
 
 class PerfCounterSampler:
@@ -205,6 +267,22 @@ class PerfCounterSampler:
         """Hand pending resilience events to the caller (runtime stage)."""
         out, self.fault_log = self.fault_log, []
         return out
+
+    def flush_metrics(self, metrics) -> None:
+        """Publish the loop's cumulative tallies into a metrics registry.
+
+        Called once at a stage boundary (session end, mode escalation) —
+        never per read — so the 8 ms sampling loop carries no registry
+        traffic.  ``metrics`` is any :class:`repro.obs.MetricsRegistry`;
+        the no-op default makes this a single attribute check.
+        """
+        if not metrics.enabled:
+            return
+        metrics.counter("sampler.reads_issued").inc(self.reads_issued)
+        metrics.counter("sampler.reads_dropped").inc(self.reads_dropped)
+        metrics.counter("sampler.retries").inc(self.retries)
+        metrics.counter("sampler.reregistrations").inc(self.reregistrations)
+        metrics.counter("sampler.counters_lost").inc(self.counters_lost)
 
     def _note(self, kind: str, **detail: object) -> None:
         self.fault_log.append((kind, detail))

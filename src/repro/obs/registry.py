@@ -1,0 +1,304 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Instruments are get-or-create by name, so any layer can say
+``registry.counter("sampler.reads_issued").inc(n)`` without coordinating
+ownership.  A :class:`NullRegistry` (the module-level
+:data:`NULL_REGISTRY`) hands out shared no-op instruments; every
+instrumented component defaults to it, which keeps the uninstrumented
+hot path free of bookkeeping — the parity contract mirrors the fault
+subsystem's disabled plan.
+
+No instrument reads a clock.  Timestamps belong to the caller's layer
+(device clock, virtual clock); the registry only aggregates values it
+is handed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.spans import NULL_SPAN, Span, SpanStats
+
+#: Default histogram bucket upper bounds for latency-style observations,
+#: in seconds.  Spans Fig 25's range (the paper's <0.1 ms claim sits at
+#: the 1e-4 boundary) with headroom for slow outliers.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-6,
+    2.5e-6,
+    5e-6,
+    1e-5,
+    2.5e-5,
+    5e-5,
+    1e-4,
+    2.5e-4,
+    5e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+)
+
+
+class Counter:
+    """A monotone event tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge for levels")
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins level (throughput, wall time, utilization)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket distribution; no per-observation allocation.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything beyond the last bound.  ``keep_samples=True``
+    additionally retains the raw observations — used only where a
+    deprecated raw-list accessor must keep returning exact values for
+    one release (the :attr:`~repro.core.online.OnlineResult.latency`
+    shim); new instruments should leave it off.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max", "samples")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+        keep_samples: bool = False,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: Optional[List[float]] = [] if keep_samples else None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.samples is not None:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def fraction_below(self, bound: float) -> float:
+        """Share of observations in buckets whose upper bound is ≤ ``bound``
+        (the Fig 25 style "x % under 0.1 ms" readout)."""
+        if not self.count:
+            return 0.0
+        covered = sum(
+            n for upper, n in zip(self.buckets, self.counts) if upper <= bound
+        )
+        return covered / self.count
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+def new_latency_histogram(name: str = "latency_s", keep_samples: bool = True) -> Histogram:
+    """A standalone latency histogram (default buckets), detached from any
+    registry — the per-result accumulator type."""
+    return Histogram(name, DEFAULT_LATENCY_BUCKETS_S, keep_samples=keep_samples)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store plus the span recorder.
+
+    One registry spans one *run* (an attack, a batch, a service pass);
+    the CLI and facades build a :class:`~repro.obs.manifest.RunManifest`
+    from it afterwards.  Instruments are plain attributes — reading
+    ``registry.counter("x").value`` is always exact, never sampled.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._span_stats: Dict[str, SpanStats] = {}
+        self._span_stack: List[str] = []
+
+    # -- instruments ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    # -- spans ----------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        clock=None,
+        trace=None,
+        session: str = "",
+        stage: str = "obs",
+    ) -> Span:
+        """A timed section.  ``clock`` is anything with a ``now`` attribute
+        (virtual or device clock); ``None`` falls back to the process
+        monotonic clock and therefore belongs only at run boundaries,
+        never in a hot path.  With ``trace`` given, completion is also
+        emitted into the shared :class:`RuntimeTrace` as a ``span``
+        event, which is how spans attach to the runtime's event log.
+        """
+        return Span(self, name, clock=clock, trace=trace, session=session, stage=stage)
+
+    # Span internals (called from Span.__enter__/__exit__) --------------
+
+    def _span_enter(self, name: str) -> str:
+        self._span_stack.append(name)
+        return "/".join(self._span_stack)
+
+    def _span_exit(self, path: str, duration_s: float) -> None:
+        if self._span_stack:
+            self._span_stack.pop()
+        stats = self._span_stats.get(path)
+        if stats is None:
+            stats = self._span_stats[path] = SpanStats(path)
+        stats.record(duration_s)
+
+    # -- export ---------------------------------------------------------
+
+    @property
+    def spans(self) -> Dict[str, SpanStats]:
+        return dict(self._span_stats)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The registry's full state as plain, JSON-ready data."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+            "spans": {n: s.to_dict() for n, s in sorted(self._span_stats.items())},
+        }
+
+    def manifest(self, config=None, **meta):
+        """Build the :class:`~repro.obs.manifest.RunManifest` for this run."""
+        from repro.obs.manifest import RunManifest
+
+        return RunManifest.from_registry(self, config=config, **meta)
+
+
+class NullRegistry(MetricsRegistry):
+    """The default no-op registry: shared inert instruments, no spans.
+
+    Everything returns immediately without allocating, so components
+    instrumented against :data:`NULL_REGISTRY` run the same instruction
+    stream as uninstrumented code up to one attribute load and call.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_LATENCY_BUCKETS_S):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def span(self, name, clock=None, trace=None, session="", stage="obs"):
+        return NULL_SPAN
+
+
+#: The process-default registry — inert.  Pass a real
+#: :class:`MetricsRegistry` to any facade/pipeline entry point to turn
+#: instrumentation on for that run.
+NULL_REGISTRY = NullRegistry()
+
+
+def resolve_registry(
+    metrics: Union[MetricsRegistry, None],
+) -> MetricsRegistry:
+    """Normalize the public ``metrics`` argument (``None`` → no-op)."""
+    if metrics is None:
+        return NULL_REGISTRY
+    if not isinstance(metrics, MetricsRegistry):
+        raise TypeError(
+            f"metrics must be a MetricsRegistry or None, got {type(metrics).__name__}"
+        )
+    return metrics

@@ -25,8 +25,10 @@ loop.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
+from repro.obs import MetricsRegistry, resolve_registry
 from repro.runtime.clock import VirtualClock
 from repro.runtime.source import EventSource, SourceEvent
 from repro.runtime.trace import RuntimeTrace
@@ -132,9 +134,11 @@ class SessionRuntime:
         self,
         clock: Optional[VirtualClock] = None,
         trace: Optional[RuntimeTrace] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
         self.trace = trace if trace is not None else RuntimeTrace()
+        self.metrics = resolve_registry(metrics)
         self.sessions: List[Session] = []
         self._seq = 0
 
@@ -154,8 +158,22 @@ class SessionRuntime:
     # ------------------------------------------------------------------
 
     def run(self) -> RuntimeTrace:
-        """Drain every session; returns the shared event log."""
-        heap: List[Tuple[float, int, Session]] = []
+        """Drain every session; returns the shared event log.
+
+        With an enabled registry the scheduler publishes its throughput
+        afterwards (sessions completed, events dispatched, wall and
+        virtual time, sessions/s).  All wall-clock reads sit at the run
+        boundary; the dispatch loop itself never touches the registry.
+        """
+        wall_start = time.perf_counter() if self.metrics.enabled else 0.0
+        run_span = self.metrics.span("runtime.run", clock=self.clock)
+        with run_span:
+            self._run(heap=[])
+        if self.metrics.enabled:
+            self._flush_metrics(time.perf_counter() - wall_start)
+        return self.trace
+
+    def _run(self, heap: List[Tuple[float, int, Session]]) -> None:
         for session in self.sessions:
             if not session.finished:
                 self.trace.emit(session.last_t, session.id, "runtime", "session_start")
@@ -182,7 +200,24 @@ class SessionRuntime:
             if session._apply_switch():
                 self.trace.emit(t, session.id, "runtime", "mode_switch")
             self._push(heap, session)
-        return self.trace
+
+    def _flush_metrics(self, wall_s: float) -> None:
+        """One post-run rollup of scheduler throughput (enabled registry
+        only; repeated ``run()`` calls on one runtime accumulate)."""
+        completed = sum(1 for s in self.sessions if s.finished)
+        events = sum(s.events_dispatched for s in self.sessions)
+        switches = sum(s.mode_switches for s in self.sessions)
+        degraded = sum(1 for s in self.sessions if s.degraded)
+        metrics = self.metrics
+        metrics.counter("runtime.sessions_completed").inc(completed)
+        metrics.counter("runtime.events_dispatched").inc(events)
+        metrics.counter("runtime.mode_switches").inc(switches)
+        metrics.counter("runtime.sessions_degraded").inc(degraded)
+        metrics.gauge("runtime.wall_s").set(wall_s)
+        metrics.gauge("runtime.virtual_span_s").set(self.clock.now)
+        metrics.gauge("runtime.sessions_per_s").set(
+            completed / wall_s if wall_s > 0 else 0.0
+        )
 
     # ------------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from repro.kgsl.sampler import (
     nonzero_deltas_vectorized,
 )
 from repro.gpu import counters as pc
+from repro.obs import MetricsRegistry, resolve_registry
 
 #: One timestamped payload flowing through a session's stage chain.
 SourceEvent = Tuple[float, object]
@@ -71,6 +72,10 @@ class SamplerDeltaSource:
         gap_factor: a delta spanning more than ``gap_factor`` nominal
             sampling intervals is flagged ``gap=True`` (reads between
             its endpoints were dropped or deferred).
+        metrics: optional :class:`repro.obs.MetricsRegistry`.  Emission
+            and gap tallies are flushed once when the stream closes
+            (also on abandonment by a mode switch); chunked extraction
+            is additionally timed under a ``source.extract`` span.
     """
 
     #: Default sample-spacing multiple beyond which a delta is a gap.
@@ -84,6 +89,7 @@ class SamplerDeltaSource:
         load: SystemLoad = IDLE,
         chunk: int = 1,
         gap_factor: float = GAP_FACTOR,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
@@ -95,6 +101,7 @@ class SamplerDeltaSource:
         self.load = load
         self.chunk = chunk
         self.gap_factor = gap_factor
+        self.metrics = resolve_registry(metrics)
         self.deltas_emitted = 0
         self.gaps_detected = 0
 
@@ -109,10 +116,17 @@ class SamplerDeltaSource:
 
     def events(self) -> Iterator[SourceEvent]:
         ticks = self.sampler.iter_samples(self.t0, self.t1, load=self.load)
-        if self.chunk == 1:
-            yield from self._incremental(ticks)
-        else:
-            yield from self._chunked(ticks)
+        try:
+            if self.chunk == 1:
+                yield from self._incremental(ticks)
+            else:
+                yield from self._chunked(ticks)
+        finally:
+            # runs on natural exhaustion AND on generator close (a mode
+            # switch abandoning the stream), so the tallies always land
+            if self.metrics.enabled:
+                self.metrics.counter("source.deltas_emitted").inc(self.deltas_emitted)
+                self.metrics.counter("source.gaps_detected").inc(self.gaps_detected)
 
     def _finalize(self, delta: PcDelta) -> PcDelta:
         """Stamp the gap flag on a delta spanning missed reads."""
@@ -147,7 +161,12 @@ class SamplerDeltaSource:
                     break
             if not batch:
                 return
-            for delta in nonzero_deltas_vectorized(batch, prev=prev):
+            # the span brackets only the extraction call — it must not
+            # cross the yields below (interleaved sessions would corrupt
+            # the registry's nesting stack)
+            with self.metrics.span("source.extract"):
+                extracted = nonzero_deltas_vectorized(batch, prev=prev)
+            for delta in extracted:
                 delta = self._finalize(delta)
                 self.deltas_emitted += 1
                 yield (delta.t, delta)

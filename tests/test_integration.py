@@ -63,7 +63,7 @@ class TestCleanCredentialTheft:
         test is robust to scheduler noise.)"""
         trace = simulate_credential_entry(config, CHASE, "latencytest1", seed=24)
         result = attack.run_on_trace(trace, seed=903)
-        times = np.array(result.inference_times_s)
+        times = np.array(result.latency.samples)
         assert np.median(times) < 1e-4
         assert np.quantile(times, 0.9) < 1e-3
 

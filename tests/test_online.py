@@ -98,8 +98,8 @@ class TestBasicInference:
 
     def test_inference_times_recorded(self, model):
         result = engine(model).process([key_a(1.0), key_b(1.5)])
-        assert len(result.inference_times_s) >= 2
-        assert all(t0 >= 0 for t0 in result.inference_times_s)
+        assert result.latency.count >= 2
+        assert all(t0 >= 0 for t0 in result.latency.samples)
 
 
 class TestDuplication:

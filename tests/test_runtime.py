@@ -320,7 +320,7 @@ class TestFeedBatchParity:
         assert streamed.keys == batch.keys
         assert streamed.stats == batch.stats
         assert streamed.text == batch.text
-        assert len(streamed.inference_times_s) == len(batch.inference_times_s)
+        assert streamed.latency.count == batch.latency.count
 
     def test_feed_with_ambient_load_parity(self, chase_model, config):
         from repro.core.online import OnlineEngine

@@ -99,10 +99,72 @@ class TestDeltas:
         assert not PcDelta(t=1.0, prev_t=0.9, values={CID: 0})
         assert PcDelta(t=1.0, prev_t=0.9, values={CID: 1})
 
+    def test_merge_rejects_swapped_order(self):
+        a = PcDelta(t=1.0, prev_t=0.99, values={CID: 30})
+        b = PcDelta(t=1.01, prev_t=1.0, values={CID: 70})
+        with pytest.raises(ValueError, match="earlier delta"):
+            a.merge(b)  # swapped: a precedes b, so b cannot be the argument
+
+    def test_merge_allows_equal_timestamps(self):
+        # split() halves share timestamps; merging them must stay legal
+        d = PcDelta(t=1.0, prev_t=0.9, values={CID: 10})
+        part, remainder = d.split(0.5)
+        merged = remainder.merge(part)
+        assert merged.t == d.t and merged.prev_t == d.prev_t
+
+    def test_scaled_floors(self):
+        d = PcDelta(t=1.0, prev_t=0.9, values={CID: 101})
+        assert d.scaled(0.5).values[CID] == 50  # floor, never bankers-rounded
+
+    def test_split_round_trips_odd_values(self):
+        for v in (1, 7, 101, 999, 12345):
+            d = PcDelta(t=1.0, prev_t=0.9, values={CID: v}, missing=(77,), gap=True)
+            part, remainder = d.split(0.5)
+            assert part.values[CID] + remainder.values[CID] == v
+            merged = remainder.merge(part)
+            assert merged.values == d.values
+            assert merged.missing == d.missing
+            assert merged.gap == d.gap
+
+    def test_split_rejects_bad_factor(self):
+        d = PcDelta(t=1.0, prev_t=0.9, values={CID: 10})
+        with pytest.raises(ValueError):
+            d.split(1.5)
+        with pytest.raises(ValueError):
+            d.split(-0.1)
+
     def test_deltas_pairwise(self):
         sampler = make_sampler(timeline_with_frames([]))
         samples = sampler.sample_range(0.0, 0.1)
         assert len(deltas(samples)) == len(samples) - 1
+
+
+class TestMaskedGet:
+    SPEC = pc.RAS_8X4_TILES
+
+    def test_present_counter_reads_value(self):
+        d = PcDelta(t=1.0, prev_t=0.9, values={CID: 42})
+        assert d.get(self.SPEC) == 42
+
+    def test_absent_unmasked_counter_reads_zero(self):
+        # never-selected counter: no change was observed because none happened
+        d = PcDelta(t=1.0, prev_t=0.9, values={})
+        assert d.get(self.SPEC) == 0
+
+    def test_masked_counter_raises_without_default(self):
+        # reclaimed counter: the change over the window is unknown, not zero
+        d = PcDelta(t=1.0, prev_t=0.9, values={}, missing=(CID,))
+        with pytest.raises(KeyError, match="masked"):
+            d.get(self.SPEC)
+
+    def test_masked_counter_honors_explicit_default(self):
+        d = PcDelta(t=1.0, prev_t=0.9, values={}, missing=(CID,))
+        assert d.get(self.SPEC, default=0) == 0
+        assert d.get(self.SPEC, default=-1) == -1
+
+    def test_present_value_wins_over_default(self):
+        d = PcDelta(t=1.0, prev_t=0.9, values={CID: 5}, missing=(CID,))
+        assert d.get(self.SPEC, default=99) == 5
 
 
 class TestLoadEffects:

@@ -7,9 +7,10 @@ object, and re-exports of the supporting types:
 * :func:`train` — offline phase over (device config, app) pairs;
 * :func:`attack` — online phase against one victim session trace;
 * :func:`run_sessions` — the batched online phase (N victims, one
-  session runtime);
+  session runtime; ``workers=N`` shards the batch across processes);
 * :func:`monitor` — the full background-service pipeline (idle watch,
-  launch detection, attack escalation);
+  launch detection, attack escalation; ``workers=N`` runs it in a
+  worker process);
 * :func:`simulate` — compile a victim credential-entry session;
 * :class:`AttackConfig` — every tunable of the pipeline in one
   serializable dataclass (sampler cadence, engine toggles, service
@@ -20,6 +21,11 @@ from this module (enforced by a test), so internal reorganizations of
 ``repro.core`` / ``repro.runtime`` never break downstream code.  All
 run-level results satisfy :class:`~repro.core.results.SessionResult` —
 the shared ``keys`` / ``text`` / ``stats`` / ``trace`` accessors.
+
+The full reference — facade signatures, every :class:`AttackConfig`
+field, the result protocol, and the ``workers=`` semantics — lives in
+``docs/api.md``; the layer-by-layer architecture narrative is
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -92,6 +98,7 @@ from repro.obs import (
 )
 from repro.core.pipeline import run_sessions as _pipeline_run_sessions
 from repro.core.pipeline import train_model, train_store
+from repro.parallel import ShardPlan, ShardedRuntime
 from repro.core.results import SessionResult
 from repro.core.service import MonitoringService, ServiceReport
 from repro.gpu import counters
@@ -188,6 +195,9 @@ __all__ = [
     "TraceSummary",
     "annotate",
     "render_trace",
+    # parallel execution
+    "ShardPlan",
+    "ShardedRuntime",
     # runtime observability
     "RuntimeTrace",
     "RuntimeEvent",
@@ -393,23 +403,41 @@ def run_sessions(
     config: Optional[AttackConfig] = None,
     runtime_trace: Optional[RuntimeTrace] = None,
     metrics: Optional[MetricsRegistry] = None,
+    workers: int = 1,
 ) -> SessionBatch:
     """Batched online phase: N victim sessions on one session runtime.
 
     Returns a :class:`SessionBatch` — a list of :class:`AttackResult`
     whose ``manifest`` attribute carries the batch-level
     :class:`RunManifest` when ``metrics`` is an enabled registry.
+
+    ``workers=N`` (N > 1) shards the batch across N worker processes
+    via :class:`~repro.parallel.ShardedRuntime`.  Session ``i`` is
+    seeded ``seed + i`` either way, so the sharded output — keys, text,
+    merged trace event order, manifest counters — is byte-identical to
+    ``workers=1`` (parity-tested); a crashed worker surfaces its
+    sessions as ``degraded`` placeholder results rather than dropping
+    them.
     """
     config = config if config is not None else _DEFAULT_CONFIG
-    batch = _pipeline_run_sessions(
-        _attacker(store, config, metrics=metrics),
-        traces,
-        load=config.load,
-        seed=seed,
-        runtime_trace=runtime_trace,
-    )
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers > 1:
+        batch = ShardedRuntime(
+            store, config=config, workers=workers, metrics=metrics
+        ).run_sessions(traces, seed=seed, runtime_trace=runtime_trace)
+    else:
+        batch = _pipeline_run_sessions(
+            _attacker(store, config, metrics=metrics),
+            traces,
+            load=config.load,
+            seed=seed,
+            runtime_trace=runtime_trace,
+        )
+    extra = {"workers": workers} if workers > 1 else {}
     _attach_manifest(
-        batch, metrics, config, command="run_sessions", sessions=len(traces)
+        batch, metrics, config, command="run_sessions", sessions=len(traces),
+        **extra,
     )
     return batch
 
@@ -422,14 +450,35 @@ def monitor(
     watch_model_key: Optional[str] = None,
     runtime_trace: Optional[RuntimeTrace] = None,
     metrics: Optional[MetricsRegistry] = None,
+    workers: int = 1,
 ) -> ServiceReport:
     """Run the full background monitoring service over a victim session.
 
     With an enabled ``metrics`` registry, the report's ``manifest``
     carries the full run rollup (idle + attack sampler tallies, fault
     events, inference-latency histogram, scheduler throughput).
+
+    ``workers=N`` (N > 1) runs the service pass in a worker process via
+    :class:`~repro.parallel.ShardedRuntime.run_services`; the report —
+    including its trace event order and manifest counters — is
+    byte-identical to the in-process run.
     """
     config = config if config is not None else _DEFAULT_CONFIG
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers > 1:
+        report = ShardedRuntime(
+            store, config=config, workers=workers, metrics=metrics
+        ).run_services(
+            [trace],
+            seed=seed,
+            watch_model_key=watch_model_key,
+            runtime_trace=runtime_trace,
+        )[0]
+        _attach_manifest(
+            report, metrics, config, command="monitor", sessions=1, workers=workers
+        )
+        return report
     service = MonitoringService(
         store,
         idle_interval_s=config.idle_interval_s,

@@ -66,6 +66,16 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the session batch across N worker processes "
+        "(with --sessions > 1); output is byte-identical to --workers 1",
+    )
+
+
 def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -95,6 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="victim sessions to run concurrently on one session runtime",
     )
+    _add_workers_flag(steal)
     _add_fault_flags(steal)
     _add_metrics_flag(steal)
 
@@ -118,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="victim sessions to run concurrently on one session runtime",
     )
+    _add_workers_flag(attack_p)
     _add_fault_flags(attack_p)
     _add_metrics_flag(attack_p)
 
@@ -172,17 +184,19 @@ def _write_manifest(args, cfg, registry, command: str, sessions: int) -> None:
 
 
 def _run_batched(
-    store, cfg, config, target, credential, seed, sessions, registry=None
+    store, cfg, config, target, credential, seed, sessions, registry=None, workers=1
 ) -> int:
-    """Run ``sessions`` concurrent victims on one session runtime and
-    print per-session outcomes plus the aggregate accuracy."""
+    """Run ``sessions`` concurrent victims — on one session runtime, or
+    sharded over ``workers`` processes — and print per-session outcomes
+    plus the aggregate accuracy."""
     traces = [
         simulate(config, target, credential, seed=seed + i, config=cfg)
         for i in range(sessions)
     ]
     started = time.perf_counter()
     results = run_sessions(
-        store, traces, seed=seed + 1000, config=cfg, metrics=registry
+        store, traces, seed=seed + 1000, config=cfg, metrics=registry,
+        workers=workers,
     )
     elapsed = time.perf_counter() - started
     exact = sum(1 for r in results if r.text == credential)
@@ -190,7 +204,7 @@ def _run_batched(
         marker = "EXACT" if result.text == credential else "partial"
         print(f"session {i:3d}: {result.text!r:24s} {marker}")
     print(f"typed          : {credential!r}")
-    print(f"sessions       : {sessions}")
+    print(f"sessions       : {sessions}" + (f" (workers={workers})" if workers > 1 else ""))
     print(f"exact matches  : {exact}/{sessions} ({exact / sessions:.1%})")
     print(f"throughput     : {sessions / elapsed:.1f} sessions/s")
     if registry is not None:
@@ -212,7 +226,7 @@ def _cmd_steal(args) -> int:
     if args.sessions > 1:
         code = _run_batched(
             store, cfg, config, target, args.credential, args.seed, args.sessions,
-            registry=registry,
+            registry=registry, workers=args.workers,
         )
         _write_manifest(args, cfg, registry, "steal", args.sessions)
         return code
@@ -254,7 +268,7 @@ def _cmd_attack(args) -> int:
     if args.sessions > 1:
         code = _run_batched(
             store, cfg, config, target, args.credential, args.seed, args.sessions,
-            registry=registry,
+            registry=registry, workers=args.workers,
         )
         _write_manifest(args, cfg, registry, "attack", args.sessions)
         return code

@@ -36,12 +36,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, fields
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.appswitch import AppSwitchDetector
-from repro.core.classifier import ClassificationModel
+from repro.core.classifier import Classification, ClassificationModel
 from repro.core.corrections import CorrectionTracker
 from repro.core import features
 from repro.core.dedup import DEDUP_WINDOW_S, DuplicationFilter
@@ -207,6 +207,46 @@ class OnlineEngine:
             self.feed(delta)
         return self.finish()
 
+    def feed_many(self, deltas: Sequence[PcDelta]) -> OnlineResult:
+        """Consume a batch of deltas through the vectorized classifier.
+
+        Semantically this *is* the ``for delta: feed(delta)`` loop — every
+        Algorithm-1 decision still runs per delta, in order — but the
+        primary nearest-centroid lookup for the whole batch is computed
+        up front with :meth:`ClassificationModel.classify_batch` (one
+        GEMM for n deltas) and injected into each step.  A step uses its
+        precomputed answer only while the model it was scored against is
+        still active: ambient deflation can swap ``_active_model``
+        mid-stream, at which point the remaining tail is re-batched
+        against the new view.  Secondary lookups (duplication halving,
+        composite subtraction, collision recovery) stay per-delta — they
+        are rare and depend on state only the sequential pass knows.
+        """
+        if self._result is None:
+            self.begin()
+        pending = list(deltas)
+        while pending:
+            model = self._active_model
+            live = [j for j, delta in enumerate(pending) if delta]
+            pre: Dict[int, Classification] = {}
+            per_delta_s = 0.0
+            if live:
+                t0 = time.perf_counter()
+                matrix = np.vstack([features.vectorize(pending[j]) for j in live])
+                masks = np.vstack(
+                    [features.present_mask(pending[j].missing) for j in live]
+                )
+                pre = dict(zip(live, model.classify_batch(matrix, masks)))
+                per_delta_s = (time.perf_counter() - t0) / len(live)
+            consumed = 0
+            for j, delta in enumerate(pending):
+                self.feed(delta, _precomputed=(model, pre.get(j), per_delta_s))
+                consumed += 1
+                if self._active_model is not model:
+                    break
+            pending = pending[consumed:]
+        return self._result
+
     def begin(self) -> OnlineResult:
         """Open a new stream; returns the (live) result accumulator."""
         self._result = OnlineResult(trace=self.trace)
@@ -223,12 +263,23 @@ class OnlineEngine:
             )
         return self._active_model.classify(delta)
 
-    def feed(self, delta: PcDelta) -> OnlineResult:
+    def feed(
+        self,
+        delta: PcDelta,
+        _precomputed: Optional[Tuple[ClassificationModel, Optional[Classification], float]] = None,
+    ) -> OnlineResult:
         """Consume one PC delta incrementally (Algorithm 1, one step).
 
         This is the streaming entry point the session runtime drives;
         state between calls (the unconsumed previous delta, the dedup
         window, the correction tracker) lives on the engine.
+
+        ``_precomputed`` is :meth:`feed_many`'s private channel: a
+        ``(model, classification, elapsed_s)`` triple from a batched
+        ``classify_batch`` pass.  It is honored only while ``model`` is
+        still the active model — ambient deflation can swap the view
+        between batching and this step, in which case the delta is
+        re-classified fresh and the caller re-batches its tail.
         """
         if self._result is None:
             self.begin()
@@ -257,9 +308,13 @@ class OnlineEngine:
         if self.recover_collisions:
             self._refresh_deflation(t=delta.t)
 
-        t0 = time.perf_counter()
-        classification = self._classify(delta)
-        self._observe_latency(result, time.perf_counter() - t0)
+        if _precomputed is not None and _precomputed[0] is self._active_model:
+            classification = _precomputed[1]
+            self._observe_latency(result, _precomputed[2])
+        else:
+            t0 = time.perf_counter()
+            classification = self._classify(delta)
+            self._observe_latency(result, time.perf_counter() - t0)
 
         prev, prev_consumed = self._prev, self._prev_consumed
 

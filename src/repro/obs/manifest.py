@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 #: Manifest schema identifier; bump on incompatible layout changes.
 SCHEMA = "repro.obs/1"
@@ -60,6 +60,40 @@ class RunManifest:
             spans=snapshot["spans"],
             meta=dict(meta),
         )
+
+    @classmethod
+    def merge(
+        cls,
+        manifests: "Sequence[RunManifest]",
+        config: Optional[Mapping[str, object]] = None,
+        **meta: object,
+    ) -> "RunManifest":
+        """Recombine per-shard manifests into one run-level manifest.
+
+        Uses the same rules as
+        :meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`:
+        counters sum (colliding names add), gauges are last-wins,
+        histograms add bucket-wise (layout mismatches raise), spans add
+        counts/totals and keep the max.  ``config``/``meta`` default to
+        the first manifest's values when not given.
+        """
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for manifest in manifests:
+            registry.merge_snapshot(
+                {
+                    "counters": manifest.counters,
+                    "gauges": manifest.gauges,
+                    "histograms": manifest.histograms,
+                    "spans": manifest.spans,
+                }
+            )
+        if config is None and manifests:
+            config = manifests[0].config
+        if not meta and manifests:
+            meta = dict(manifests[0].meta)  # type: ignore[assignment]
+        return cls.from_registry(registry, config=config, **meta)
 
     # -- convenience accessors ------------------------------------------
 

@@ -133,6 +133,33 @@ class Histogram:
             "mean": self.mean,
         }
 
+    def absorb_dict(self, data: Dict[str, object]) -> None:
+        """Fold an exported ``to_dict`` snapshot into this histogram.
+
+        Bucket-wise addition is only meaningful between identically
+        bucketed histograms, so a layout mismatch is an error rather
+        than a silent miscount.
+        """
+        buckets = tuple(float(b) for b in data.get("buckets", ()))
+        if buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket layout "
+                f"{list(buckets)} != {list(self.buckets)}"
+            )
+        counts = list(data.get("counts", ()))
+        if len(counts) != len(self.counts):
+            raise ValueError(f"cannot merge histogram {self.name!r}: count width mismatch")
+        for i, n in enumerate(counts):
+            self.counts[i] += int(n)
+        self.count += int(data.get("count", 0))
+        self.sum += float(data.get("sum", 0.0))
+        other_min = data.get("min")
+        if other_min is not None and (self.min is None or other_min < self.min):
+            self.min = float(other_min)  # type: ignore[arg-type]
+        other_max = data.get("max")
+        if other_max is not None and (self.max is None or other_max > self.max):
+            self.max = float(other_max)  # type: ignore[arg-type]
+
 
 def new_latency_histogram(name: str = "latency_s", keep_samples: bool = True) -> Histogram:
     """A standalone latency histogram (default buckets), detached from any
@@ -251,6 +278,38 @@ class MetricsRegistry:
             },
             "spans": {n: s.to_dict() for n, s in sorted(self._span_stats.items())},
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The merge rules match each instrument's semantics:
+
+        * **counters** add — colliding names sum, which is exactly what
+          per-shard tallies of one logical run should do;
+        * **gauges** are last-value-wins, like ``set`` itself (callers
+          that want a run-level value, e.g. throughput, recompute it
+          after merging);
+        * **histograms** add bucket-wise via :meth:`Histogram.absorb_dict`
+          (identical bucket layouts required — mismatches raise);
+        * **spans** add counts/totals and keep the max.
+
+        This is how `repro.parallel` recombines worker-process
+        registries into the parent run's registry before the single
+        :class:`~repro.obs.manifest.RunManifest` is built.
+        """
+        if not self.enabled:
+            return
+        for name, value in (snapshot.get("counters") or {}).items():  # type: ignore[union-attr]
+            self.counter(name).inc(int(value))
+        for name, value in (snapshot.get("gauges") or {}).items():  # type: ignore[union-attr]
+            self.gauge(name).set(float(value))
+        for name, data in (snapshot.get("histograms") or {}).items():  # type: ignore[union-attr]
+            self.histogram(name, buckets=data["buckets"]).absorb_dict(data)
+        for name, data in (snapshot.get("spans") or {}).items():  # type: ignore[union-attr]
+            stats = self._span_stats.get(name)
+            if stats is None:
+                stats = self._span_stats[name] = SpanStats(name)
+            stats.absorb_dict(data)
 
     def manifest(self, config=None, **meta):
         """Build the :class:`~repro.obs.manifest.RunManifest` for this run."""

@@ -36,6 +36,14 @@ class SpanStats:
         if duration_s > self.max_s:
             self.max_s = duration_s
 
+    def absorb_dict(self, data: dict) -> None:
+        """Fold another rollup's exported ``to_dict`` into this one —
+        counts and totals add, the max wins.  Used when per-shard
+        registries are merged back into a parent run."""
+        self.count += int(data.get("count", 0))
+        self.total_s += float(data.get("total_s", 0.0))
+        self.max_s = max(self.max_s, float(data.get("max_s", 0.0)))
+
     @property
     def mean_s(self) -> float:
         return self.total_s / self.count if self.count else 0.0

@@ -126,20 +126,37 @@ class Session:
 
 _END = object()
 
+#: One scheduler decision recorded in a step log:
+#: ``(kind, session_id, t, e0, e1)`` where ``kind`` is ``start`` /
+#: ``event`` / ``end_switch`` / ``end``, ``t`` is the session's heap key
+#: after the step, and ``[e0, e1)`` is the half-open range of trace
+#: ordinals (:attr:`RuntimeTrace.emitted`) this step produced.
+StepRecord = Tuple[str, str, float, int, int]
+
 
 class SessionRuntime:
-    """Schedules N concurrent sessions on one virtual timeline."""
+    """Schedules N concurrent sessions on one virtual timeline.
+
+    ``step_log`` (optional) records one :data:`StepRecord` per scheduler
+    decision.  The sharded runtime (`repro.parallel`) runs disjoint
+    session subsets in worker processes with a step log each, then
+    replays the heap algorithm over the merged logs to reconstruct the
+    exact global dispatch — and therefore trace — order a serial run
+    would have produced.
+    """
 
     def __init__(
         self,
         clock: Optional[VirtualClock] = None,
         trace: Optional[RuntimeTrace] = None,
         metrics: Optional[MetricsRegistry] = None,
+        step_log: Optional[List[StepRecord]] = None,
     ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
         self.trace = trace if trace is not None else RuntimeTrace()
         self.metrics = resolve_registry(metrics)
         self.sessions: List[Session] = []
+        self.step_log = step_log
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -176,10 +193,13 @@ class SessionRuntime:
     def _run(self, heap: List[Tuple[float, int, Session]]) -> None:
         for session in self.sessions:
             if not session.finished:
+                e0 = self.trace.emitted
                 self.trace.emit(session.last_t, session.id, "runtime", "session_start")
+                self._record("start", session, session.last_t, e0)
                 self._push(heap, session)
         while heap:
             _, _, session = heapq.heappop(heap)
+            e0 = self.trace.emitted
             event = next(session._events(), _END)
             if event is _END:
                 self._end_session(session)
@@ -188,9 +208,11 @@ class SessionRuntime:
                     self.trace.emit(
                         session.last_t, session.id, "runtime", "mode_switch"
                     )
+                    self._record("end_switch", session, session.last_t, e0)
                     self._push(heap, session)
                     continue
                 self._finish(session)
+                self._record("end", session, session.last_t, e0)
                 continue
             t, payload = event
             self.clock.advance_to(t)
@@ -199,7 +221,12 @@ class SessionRuntime:
             self._dispatch(session, t, payload)
             if session._apply_switch():
                 self.trace.emit(t, session.id, "runtime", "mode_switch")
+            self._record("event", session, t, e0)
             self._push(heap, session)
+
+    def _record(self, kind: str, session: Session, t: float, e0: int) -> None:
+        if self.step_log is not None:
+            self.step_log.append((kind, session.id, t, e0, self.trace.emitted))
 
     def _flush_metrics(self, wall_s: float) -> None:
         """One post-run rollup of scheduler throughput (enabled registry

@@ -61,6 +61,23 @@ class RuntimeTrace:
         self.counters[key] = self.counters.get(key, 0) + 1
         return event
 
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (retained + dropped off the ring).
+
+        This is the stable event *ordinal* — shard replay uses half-open
+        ``[e0, e1)`` ranges of it to address contiguous event runs even
+        when a bounded ring has started dropping from the front.
+        """
+        return self.events_dropped + len(self.events)
+
+    def replay(self, event: RuntimeEvent) -> RuntimeEvent:
+        """Re-emit an event recorded by another trace, preserving its
+        payload; capacity accounting and counters apply as usual."""
+        return self.emit(
+            event.t, event.session, event.stage, event.kind, **dict(event.detail)
+        )
+
     # ------------------------------------------------------------------
 
     def count(self, kind: Optional[str] = None, stage: Optional[str] = None) -> int:

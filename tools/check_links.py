@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Check relative markdown links in the repo's documentation.
+
+Scans README.md, the top-level guides and everything under docs/ for
+``[text](target)`` links and verifies that every *relative* target
+resolves to an existing file (anchors are split off; external
+``http(s):``/``mailto:`` targets and bare anchors are skipped).
+Stdlib-only so the docs CI job needs no extra dependencies.
+
+Usage::
+
+    python tools/check_links.py            # check the default doc set
+    python tools/check_links.py FILE...    # check specific files
+
+Exits 0 when every link resolves, 1 otherwise (broken links listed on
+stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links; deliberately simple — image links (``![]``)
+#: match too, which is what we want.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced code blocks, where link-looking text is code, not a link.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    for name in ("DESIGN.md", "EXPERIMENTS.md", "CHANGES.md", "ROADMAP.md"):
+        path = REPO_ROOT / name
+        if path.exists():
+            files.append(path)
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    broken: List[str] = []
+    for lineno, target in iter_links(path):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: broken link -> {target}")
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    broken: List[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            broken.append(f"{path}: file not found")
+            continue
+        checked += 1
+        broken.extend(check_file(path))
+    if broken:
+        print("\n".join(broken), file=sys.stderr)
+        print(f"\n{len(broken)} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,116 @@
+"""Collector ingestion throughput under the mild fault profile.
+
+The fleet-scale claim of ``docs/collector.md``: one asyncio collector
+sustains **≥ 1000 sessions/s** of ingestion from concurrent devices with
+**zero lost results** while the mild fault profile drops connections and
+slows reads — retries absorb every injected failure.
+
+The devices here are synthetic senders (pre-built payloads, no attack
+compute), because this bench measures the *network* layer: framing,
+ack round trips, dedup, the bounded queue, and aggregation.  End-to-end
+fleet runs with real attack compute are ``tests/test_collector.py`` and
+``repro fleet``.
+
+Writes ``BENCH_collector.json`` (ingest rate, retries, duplicate
+frames) as the machine-readable record; CI uploads it as an artifact.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.collector import (
+    CollectorClient,
+    CollectorHandle,
+    RetryPolicy,
+    SessionResultPayload,
+)
+from repro.faults import FaultPlan
+from conftest import scaled, write_bench_manifest
+
+pytestmark = pytest.mark.bench
+
+#: Ingestion floor the collector must sustain locally (sessions/s).
+MIN_INGEST_RATE = 1000.0
+
+DEVICES = 4
+SESSIONS_PER_DEVICE = scaled(400)
+
+#: The mild profile's fault knobs, reseeded per device below — the same
+#: plan the CI fault matrix runs, driving the network injector here.
+MILD = FaultPlan.from_profile("mild", seed=11)
+
+
+def _stream_device(endpoint, d, errors):
+    device_id = f"device-{d:04d}"
+    client = CollectorClient(
+        endpoint,
+        device_id,
+        fault_plan=MILD,
+        retry=RetryPolicy(max_attempts=10, base_delay_s=0.002, max_delay_s=0.05),
+        seed_offset=d,
+    )
+    try:
+        with client:
+            client.send_results(
+                SessionResultPayload(device_id, i, "pw123456", 8, exact=True)
+                for i in range(SESSIONS_PER_DEVICE)
+            )
+    except Exception as exc:  # pragma: no cover - surfaced via `errors`
+        errors.append(exc)
+    return client.stats
+
+
+def test_collector_sustains_fleet_ingestion():
+    sent = DEVICES * SESSIONS_PER_DEVICE
+    errors = []
+    stats = [None] * DEVICES
+    with CollectorHandle(transport="tcp", queue_size=256) as handle:
+        endpoint = handle.endpoint
+
+        def run(d):
+            stats[d] = _stream_device(endpoint, d, errors)
+
+        threads = [
+            threading.Thread(target=run, args=(d,), name=f"bench-device-{d}")
+            for d in range(DEVICES)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - started
+    assert not errors, f"device senders failed: {errors}"
+
+    registry = handle.server.registry
+    ingested = registry.counter("collector.sessions_ingested").value
+    dupes = registry.counter("collector.dupes_dropped").value
+    retries = sum(s.retries for s in stats)
+    drops = sum(s.injected_drops for s in stats)
+    rate = ingested / elapsed
+
+    print(f"\ncollector ingestion: {DEVICES} devices x {SESSIONS_PER_DEVICE} sessions")
+    print(
+        f"  ingested {ingested}/{sent} in {elapsed:.2f}s -> {rate:.0f} sessions/s "
+        f"(floor {MIN_INGEST_RATE:.0f})"
+    )
+    print(f"  injected drops {drops}, retries {retries}, duplicate frames {dupes}")
+
+    # zero lost results: every injected drop was absorbed by a retry
+    assert ingested == sent
+    assert drops > 0, "mild profile should have injected connection drops"
+    assert rate >= MIN_INGEST_RATE
+
+    bench = type(registry)()
+    bench.gauge("collector.bench_ingest_rate").set(rate)
+    bench.gauge("collector.bench_wall_s").set(elapsed)
+    bench.counter("collector.bench_sessions").inc(sent)
+    bench.counter("collector.bench_retries").inc(retries)
+    bench.counter("collector.bench_injected_drops").inc(drops)
+    bench.counter("collector.bench_duplicate_frames").inc(dupes)
+    bench.merge_snapshot(registry.snapshot())
+    write_bench_manifest(
+        "collector", bench, devices=DEVICES, sessions=sent, profile="mild"
+    )

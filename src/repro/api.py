@@ -1,7 +1,7 @@
 """The stable public API of the reproduction.
 
 Everything an application, example, or the CLI needs lives here — one
-flat namespace with four facade functions, one unified configuration
+flat namespace with the facade functions, one unified configuration
 object, and re-exports of the supporting types:
 
 * :func:`train` — offline phase over (device config, app) pairs;
@@ -12,6 +12,8 @@ object, and re-exports of the supporting types:
   launch detection, attack escalation; ``workers=N`` runs it in a
   worker process);
 * :func:`simulate` — compile a victim credential-entry session;
+* :func:`run_fleet` — N simulated devices streaming results into one
+  backpressured collector service (see ``docs/collector.md``);
 * :class:`AttackConfig` — every tunable of the pipeline in one
   serializable dataclass (sampler cadence, engine toggles, service
   windows, system load, fault plan).
@@ -71,6 +73,15 @@ from repro.analysis.metrics import AccuracyReport, align, edit_distance
 from repro.analysis.report import generate_report
 from repro.analysis.reporting import bar_chart
 from repro.analysis.traces import TraceSummary, annotate, render_trace
+from repro.collector import (
+    CollectorClient,
+    CollectorHandle,
+    CollectorServer,
+    FleetDriver,
+    FleetReport,
+    RetryPolicy,
+    SessionResultPayload,
+)
 from repro.core import features
 from repro.core.classifier import Classification, ClassificationModel, build_model
 from repro.core.guessing import CandidateGenerator
@@ -119,6 +130,7 @@ __all__ = [
     "run_sessions",
     "monitor",
     "simulate",
+    "run_fleet",
     # results protocol
     "SessionResult",
     "AttackResult",
@@ -198,6 +210,14 @@ __all__ = [
     # parallel execution
     "ShardPlan",
     "ShardedRuntime",
+    # fleet collection
+    "FleetDriver",
+    "FleetReport",
+    "CollectorServer",
+    "CollectorHandle",
+    "CollectorClient",
+    "RetryPolicy",
+    "SessionResultPayload",
     # runtime observability
     "RuntimeTrace",
     "RuntimeEvent",
@@ -496,3 +516,58 @@ def monitor(
     )
     _attach_manifest(report, metrics, config, command="monitor", sessions=1)
     return report
+
+
+def run_fleet(
+    store: ModelStore,
+    device_config: DeviceConfig,
+    target: AppSpec,
+    credential: str,
+    devices: int = 3,
+    sessions_per_device: int = 2,
+    seed: int = 7,
+    config: Optional[AttackConfig] = None,
+    workers: int = 1,
+    transport: str = "tcp",
+    unix_path: Optional[str] = None,
+    queue_size: int = 256,
+    retry: Optional[RetryPolicy] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    device_threads: Optional[int] = None,
+) -> FleetReport:
+    """Run ``devices`` simulated victims streaming into one collector.
+
+    Each device runs a full attack pass (``sessions_per_device``
+    sessions, seeded from its device index; ``workers=N`` shards the
+    per-device batch across processes) and reports every result to an
+    in-process :class:`CollectorServer` over TCP or a unix socket, with
+    retry-until-acked delivery and seq-number deduplication.  The
+    config's fault plan injects both KGSL-layer faults inside each
+    device and connection drops / slow reads on the uplink.
+
+    Returns a :class:`FleetReport` — ingested payloads in (device,
+    session) order, loss/duplicate/retry accounting, and the merged run
+    manifest (folded into ``metrics`` when an enabled registry is
+    passed).  ``report.lost == 0`` is the delivery contract: retries
+    absorb injected drops.
+    """
+    config = config if config is not None else _DEFAULT_CONFIG
+    kwargs = {} if retry is None else {"retry": retry}
+    driver = FleetDriver(
+        store,
+        device_config,
+        target,
+        credential,
+        devices=devices,
+        sessions_per_device=sessions_per_device,
+        config=config,
+        seed=seed,
+        workers=workers,
+        transport=transport,
+        unix_path=unix_path,
+        queue_size=queue_size,
+        metrics=metrics,
+        device_threads=device_threads,
+        **kwargs,
+    )
+    return driver.run()

@@ -5,6 +5,8 @@ Commands:
 * ``steal``    — end-to-end attack demo on one configuration
 * ``train``    — offline phase; writes a model store JSON
 * ``attack``   — online phase against a simulated victim, using a store
+* ``fleet``    — N simulated devices streaming into one collector
+  service (backpressure, retries, dedup; see ``docs/collector.md``)
 * ``survey``   — per-key weak-spot report for a keyboard
 * ``report``   — regenerate the evaluation figures into a directory
 * ``devices``  — list modeled phones, keyboards and apps
@@ -20,7 +22,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.api import (
@@ -41,6 +45,7 @@ from repro.api import (
     keyboard,
     ModelStore,
     phone,
+    run_fleet,
     run_per_key_sweep,
     run_sessions,
     simulate,
@@ -132,6 +137,39 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(attack_p)
     _add_fault_flags(attack_p)
     _add_metrics_flag(attack_p)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="train, then run N simulated devices streaming results "
+        "into one collector service",
+    )
+    fleet.add_argument("credential", nargs="?", default="Tr0ub4dor&3")
+    fleet.add_argument("--devices", type=int, default=3, help="simulated devices")
+    fleet.add_argument(
+        "--sessions",
+        type=int,
+        default=2,
+        help="victim sessions each device runs and reports",
+    )
+    fleet.add_argument("--phone", default="oneplus8pro")
+    fleet.add_argument("--keyboard", default="gboard")
+    fleet.add_argument("--app", default="chase")
+    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument(
+        "--transport",
+        choices=("tcp", "unix"),
+        default="tcp",
+        help="collector transport (unix uses a socket in the cwd's tmp)",
+    )
+    fleet.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        help="collector in-flight queue bound (the backpressure knob)",
+    )
+    _add_workers_flag(fleet)
+    _add_fault_flags(fleet)
+    _add_metrics_flag(fleet)
 
     survey = sub.add_parser("survey", help="per-key weak spots for a keyboard")
     survey.add_argument("--keyboard", default="gboard")
@@ -293,6 +331,62 @@ def _cmd_attack(args) -> int:
     return 0 if result.text == args.credential else 1
 
 
+def _cmd_fleet(args) -> int:
+    config = _config(args.phone, args.keyboard)
+    target = app(args.app)
+    cfg = _attack_config(args, recognize_device=False)
+    registry = _metrics_registry(args)
+    unix_path = None
+    tmpdir = None
+    if args.transport == "unix":
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+        unix_path = str(Path(tmpdir.name) / "collector.sock")
+    print(f"training model for {config.config_key()} / {target.name} ...")
+    store = train([(config, target)], config=cfg)
+    try:
+        report = run_fleet(
+            store,
+            config,
+            target,
+            args.credential,
+            devices=args.devices,
+            sessions_per_device=args.sessions,
+            seed=args.seed,
+            config=cfg,
+            workers=args.workers,
+            transport=args.transport,
+            unix_path=unix_path,
+            queue_size=args.queue_size,
+            metrics=registry,
+        )
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+    print(
+        f"fleet      : {report.devices} devices x {args.sessions} sessions "
+        f"(transport={args.transport}, workers={args.workers})"
+    )
+    print(
+        f"ingested   : {report.ingested}/{report.sessions_total} results "
+        f"({report.lost} lost, {report.duplicates_dropped} duplicate frames)"
+    )
+    print(
+        f"delivery   : {report.retries} retries, {report.reconnects} reconnects"
+    )
+    print(
+        f"exact      : {report.exact}/{report.sessions_total} "
+        f"({report.exact_rate:.1%})"
+    )
+    print(f"throughput : {report.ingest_rate:.1f} sessions/s ingested")
+    for outcome in report.outcomes:
+        if outcome.error:
+            print(f"device     : {outcome.device_id} FAILED ({outcome.error})")
+    if args.metrics_out and report.manifest is not None:
+        report.manifest.write(args.metrics_out)
+        print(f"metrics    : wrote run manifest to {args.metrics_out}")
+    return 0 if report.lost == 0 else 1
+
+
 def _cmd_survey(args) -> int:
     if args.keyboard not in KEYBOARDS:
         print(f"unknown keyboard {args.keyboard!r}; available: {sorted(KEYBOARDS)}")
@@ -331,6 +425,7 @@ _COMMANDS = {
     "steal": _cmd_steal,
     "train": _cmd_train,
     "attack": _cmd_attack,
+    "fleet": _cmd_fleet,
     "survey": _cmd_survey,
     "report": _cmd_report,
     "devices": _cmd_devices,

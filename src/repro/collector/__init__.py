@@ -1,0 +1,55 @@
+"""Fleet ingestion: the collector service, client, and fleet driver.
+
+The first cross-process networking layer of the reproduction — many
+simulated devices stream their :class:`SessionResultPayload` frames into
+one asyncio :class:`CollectorServer` with bounded-queue backpressure,
+retry-until-acked delivery, and ``(device_id, seq)`` deduplication.
+``docs/collector.md`` is the full guide.
+"""
+
+from repro.collector.client import (
+    ClientStats,
+    CollectorClient,
+    CollectorClientError,
+    NetworkFaultInjector,
+    RetryPolicy,
+)
+from repro.collector.fleet import (
+    DEVICE_SEED_STRIDE,
+    DeviceOutcome,
+    FleetDriver,
+    FleetReport,
+)
+from repro.collector.framing import (
+    MAX_FRAME_BYTES,
+    PROTO_VERSION,
+    ConnectionClosed,
+    FrameError,
+    SessionResultPayload,
+    decode_body,
+    encode_frame,
+    read_frame_sock,
+)
+from repro.collector.server import CollectorHandle, CollectorServer
+
+__all__ = [
+    "CollectorServer",
+    "CollectorHandle",
+    "CollectorClient",
+    "CollectorClientError",
+    "ClientStats",
+    "NetworkFaultInjector",
+    "RetryPolicy",
+    "FleetDriver",
+    "FleetReport",
+    "DeviceOutcome",
+    "DEVICE_SEED_STRIDE",
+    "SessionResultPayload",
+    "FrameError",
+    "ConnectionClosed",
+    "encode_frame",
+    "decode_body",
+    "read_frame_sock",
+    "MAX_FRAME_BYTES",
+    "PROTO_VERSION",
+]

@@ -1,0 +1,319 @@
+"""The device-side collector client: blocking sockets, retry until acked.
+
+A :class:`CollectorClient` is what one simulated device uses to report
+its finished sessions.  It is deliberately synchronous — devices are
+plain threads/processes running the CPU-bound attack pipeline, and a
+blocking ``send → await ack`` round trip is exactly the shape that lets
+the server's bounded queue push back on them (see
+:mod:`repro.collector.server`).
+
+Reliability discipline:
+
+* every result frame carries a monotonically increasing per-device
+  ``seq``;
+* a frame is *resent* — over a fresh connection if necessary — until
+  its ``ack`` arrives, with **jittered exponential backoff** between
+  attempts (:class:`RetryPolicy`);
+* the server deduplicates by ``(device_id, seq)``, so the retry loop
+  can never double-aggregate a result.
+
+Fault injection reuses the :mod:`repro.faults` profiles: a
+:class:`NetworkFaultInjector` maps the plan's transient-ioctl
+probability onto **connection drops** (before or after the frame is
+written — the "after" case is what exercises the dedup path) and its
+wakeup jitter onto **slow reads** of the ack.  The same seeded plan that
+makes a device's KGSL layer misbehave makes its uplink flaky, so the
+fleet's end-to-end loss accounting is tested under one coherent fault
+model.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, Iterable, Optional, Union
+
+import numpy as np
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.collector.framing import (
+    PROTO_VERSION,
+    ConnectionClosed,
+    FrameError,
+    SessionResultPayload,
+    encode_frame,
+    read_frame_sock,
+)
+
+
+class CollectorClientError(Exception):
+    """A frame could not be delivered within the retry budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff between delivery attempts.
+
+    Attempt ``k`` (0-based) sleeps
+    ``min(max_delay_s, base_delay_s * multiplier**k) * (1 + jitter_frac*u)``
+    with ``u`` uniform in ``[0, 1)`` from a seeded RNG — jitter
+    de-synchronizes a fleet of devices retrying into the same collector
+    without making any single device's schedule nondeterministic.
+    """
+
+    max_attempts: int = 8
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.jitter_frac < 0:
+            raise ValueError("delays and jitter must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        base = min(self.max_delay_s, self.base_delay_s * self.multiplier ** attempt)
+        return base * (1.0 + self.jitter_frac * float(rng.random()))
+
+
+@dataclass
+class ClientStats:
+    """Everything the client did to get its results through."""
+
+    frames_sent: int = 0
+    acks_received: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    injected_drops: int = 0
+    injected_slow_reads: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class NetworkFaultInjector:
+    """Seeded network misbehavior derived from a :class:`FaultPlan`.
+
+    * ``read_error_prob`` → per-frame **connection drop**; half the
+      drops land *after* the frame was written (the ack is lost, the
+      resend is a duplicate the server must absorb);
+    * ``jitter_prob`` / ``jitter_s`` → **slow read**: an exponential
+      extra delay before the ack is read.
+
+    The RNG stream is independent of the device's KGSL injector (extra
+    stream key), so enabling network faults never perturbs the attack's
+    fault sequence.
+    """
+
+    _STREAM_KEY = 0xC011EC7
+
+    def __init__(self, plan: FaultPlan, seed_offset: int = 0) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng((plan.seed, seed_offset, self._STREAM_KEY))
+
+    def connection_fault(self) -> Optional[str]:
+        """``None``, ``"drop_before"`` or ``"drop_after"`` for this frame."""
+        if self.plan.read_error_prob and self.rng.random() < self.plan.read_error_prob:
+            return "drop_after" if self.rng.random() < 0.5 else "drop_before"
+        return None
+
+    def slow_read_delay_s(self) -> float:
+        if self.plan.jitter_prob and self.rng.random() < self.plan.jitter_prob:
+            return float(self.rng.exponential(self.plan.jitter_s))
+        return 0.0
+
+
+class CollectorClient:
+    """One device's reliable stream of results into a collector.
+
+    Args:
+        endpoint: ``("tcp", host, port)`` or ``("unix", path)`` — what
+            :meth:`CollectorServer.start`/``CollectorHandle.start``
+            returned.
+        device_id: stable identity; the server's dedup key includes it.
+        fault_plan: a plan / profile name / ``None`` / ``"auto"``,
+            resolved exactly like the attack-side argument; an enabled
+            plan turns on :class:`NetworkFaultInjector`.
+        retry: the backoff schedule for failed deliveries.
+        timeout_s: socket timeout for connect/send/ack.
+        sleep: injectable sleeper (tests pass a no-op to make backoff
+            schedules instantaneous).
+    """
+
+    def __init__(
+        self,
+        endpoint,
+        device_id: str,
+        fault_plan: Union[FaultPlan, None, str] = None,
+        retry: RetryPolicy = RetryPolicy(),
+        timeout_s: float = 10.0,
+        seed_offset: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        kind = endpoint[0]
+        if kind not in ("tcp", "unix"):
+            raise ValueError(f"unknown endpoint kind {kind!r}")
+        self.endpoint = tuple(endpoint)
+        self.device_id = device_id
+        self.retry = retry
+        self.timeout_s = timeout_s
+        self.sleep = sleep
+        self.stats = ClientStats()
+        plan = faults.resolve_plan(fault_plan)
+        self._injector = (
+            NetworkFaultInjector(plan, seed_offset=seed_offset) if plan else None
+        )
+        self._backoff_rng = np.random.default_rng((seed_offset, 0x8ACC0FF))
+        self._sock: Optional[socket.socket] = None
+        self._connected_once = False
+        self._seq = 0
+
+    # -- connection -----------------------------------------------------
+
+    def _connect(self) -> None:
+        if self.endpoint[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target = self.endpoint[1]
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = (self.endpoint[1], self.endpoint[2])
+        sock.settimeout(self.timeout_s)
+        sock.connect(target)
+        self._sock = sock
+        reply = self._roundtrip(
+            {"type": "hello", "device_id": self.device_id, "proto": PROTO_VERSION}
+        )
+        if reply.get("type") != "hello_ok":
+            self._drop_connection()
+            raise CollectorClientError(f"collector rejected hello: {reply}")
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+            if self._connected_once:
+                self.stats.reconnects += 1
+            self._connected_once = True
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _roundtrip(self, frame: Dict[str, object]) -> Dict[str, object]:
+        self._sock.sendall(encode_frame(frame))
+        return read_frame_sock(self._sock)
+
+    # -- delivery -------------------------------------------------------
+
+    def send_result(self, payload: SessionResultPayload) -> int:
+        """Deliver one result; returns its ``seq``.  Blocks until acked.
+
+        Raises :class:`CollectorClientError` after ``max_attempts``
+        failed deliveries (connection refused, dropped, timed out, or a
+        mis-sequenced ack).
+        """
+        seq = self._seq
+        self._seq += 1
+        frame = {
+            "type": "result",
+            "device_id": self.device_id,
+            "seq": seq,
+            "payload": payload.to_dict(),
+        }
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.stats.retries += 1
+                self.sleep(self.retry.delay_s(attempt - 1, self._backoff_rng))
+            try:
+                self._ensure_connected()
+                fault = self._injector.connection_fault() if self._injector else None
+                if fault == "drop_before":
+                    self.stats.injected_drops += 1
+                    self._drop_connection()
+                    raise ConnectionResetError("injected connection drop (before send)")
+                self._sock.sendall(encode_frame(frame))
+                self.stats.frames_sent += 1
+                if fault == "drop_after":
+                    # the frame is on the wire but we sever before the
+                    # ack: the server may have aggregated it, and the
+                    # resend must come back deduplicated
+                    self.stats.injected_drops += 1
+                    self._drop_connection()
+                    raise ConnectionResetError("injected connection drop (after send)")
+                if self._injector:
+                    delay = self._injector.slow_read_delay_s()
+                    if delay > 0:
+                        self.stats.injected_slow_reads += 1
+                        self.sleep(delay)
+                reply = read_frame_sock(self._sock)
+                if reply.get("type") != "ack" or reply.get("seq") != seq:
+                    raise FrameError(f"expected ack for seq {seq}, got {reply}")
+                self.stats.acks_received += 1
+                return seq
+            except (OSError, FrameError, ConnectionClosed) as exc:
+                last_error = exc
+                self._drop_connection()
+        raise CollectorClientError(
+            f"device {self.device_id}: result seq {seq} undelivered after "
+            f"{self.retry.max_attempts} attempts: {last_error}"
+        )
+
+    def send_results(self, payloads: Iterable[SessionResultPayload]) -> int:
+        """Deliver many results in order; returns how many were acked."""
+        count = 0
+        for payload in payloads:
+            self.send_result(payload)
+            count += 1
+        return count
+
+    def send_metrics(self, snapshot: Dict[str, object]) -> None:
+        """Ship a device-side ``MetricsRegistry.snapshot()`` for merging.
+
+        Metrics frames ride the same retry loop shape as results but are
+        idempotent only in aggregate (counters would double on a resend
+        after a lost ack), so they are sent best-effort *once*; a device
+        whose metrics frame is lost still has all its results counted.
+        """
+        try:
+            self._ensure_connected()
+            reply = self._roundtrip({"type": "metrics", "snapshot": snapshot})
+            if reply.get("type") != "metrics_ok":
+                raise FrameError(f"unexpected metrics reply: {reply}")
+        except (OSError, FrameError, ConnectionClosed):
+            self._drop_connection()
+
+    def close(self) -> None:
+        """Send the ``bye`` tally (best-effort) and close the socket."""
+        if self._sock is None and not self._connected_once:
+            return
+        try:
+            self._ensure_connected()
+            self._roundtrip(
+                {
+                    "type": "bye",
+                    "device_id": self.device_id,
+                    "sent": self.stats.frames_sent,
+                    "retries": self.stats.retries,
+                    "reconnects": self.stats.reconnects,
+                }
+            )
+        except (OSError, FrameError, ConnectionClosed, CollectorClientError):
+            pass
+        finally:
+            self._drop_connection()
+
+    def __enter__(self) -> "CollectorClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

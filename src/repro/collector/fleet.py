@@ -1,0 +1,301 @@
+"""The fleet driver: N simulated devices streaming into one collector.
+
+This is the bridge from "fast on one host" (:mod:`repro.parallel`) to
+"serves a fleet": a :class:`FleetDriver` stands up a
+:class:`~repro.collector.server.CollectorServer`, runs ``devices``
+independent victims — each one a full :class:`~repro.api.AttackConfig`
+attack run over its own simulated sessions, optionally sharded across
+worker processes — and has every device report its results through a
+:class:`~repro.collector.client.CollectorClient` with the full
+retry/dedup discipline.  The product is a :class:`FleetReport`: the
+ingested payloads, the loss/duplicate/retry accounting, and the merged
+run manifest.
+
+Device identity and seeding: device ``d`` is ``device-{d:04d}`` and
+seeds everything (victim traces, attack RNG, network fault stream,
+backoff jitter) from ``seed + 1000*d``, so a fleet run is deterministic
+end to end *except* for wall-clock rates — and any device's run can be
+reproduced alone from its id.
+
+Devices run on a thread pool.  The attack compute holds the GIL, but
+the delivery path (socket round trips, injected backoff) overlaps, and
+``workers=N`` moves the compute into processes per device when real
+parallelism is wanted; the driver exists to exercise the *network*
+layer, not to replace :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.collector.client import (
+    ClientStats,
+    CollectorClient,
+    CollectorClientError,
+    RetryPolicy,
+)
+from repro.collector.framing import SessionResultPayload
+from repro.collector.server import CollectorHandle
+from repro.obs import MetricsRegistry, RunManifest
+
+#: Seed stride between devices — wide enough that per-session offsets
+#: within a device can never collide with the next device's block.
+DEVICE_SEED_STRIDE = 1000
+
+
+@dataclass
+class DeviceOutcome:
+    """One device's view of its own run and delivery."""
+
+    device_id: str
+    sessions: int
+    delivered: int
+    undelivered: int
+    exact: int
+    stats: ClientStats
+    error: Optional[str] = None
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run produced, from both ends of the wire."""
+
+    devices: int
+    sessions_total: int
+    ingested: int
+    lost: int
+    duplicates_dropped: int
+    exact: int
+    degraded: int
+    retries: int
+    reconnects: int
+    wall_s: float
+    ingest_rate: float
+    results: List[SessionResultPayload] = field(default_factory=list)
+    outcomes: List[DeviceOutcome] = field(default_factory=list)
+    manifest: Optional[RunManifest] = None
+
+    @property
+    def exact_rate(self) -> float:
+        return self.exact / self.sessions_total if self.sessions_total else 0.0
+
+
+class FleetDriver:
+    """Run a simulated device fleet against one collector.
+
+    Args:
+        store: the preloaded :class:`~repro.core.model_store.ModelStore`
+            every device attacks with.
+        device_config / target / credential: the victim scenario each
+            device runs (same scenario, device-unique seeds).
+        devices / sessions_per_device: fleet shape.
+        config: the :class:`~repro.api.AttackConfig`; its fault plan
+            drives *both* the KGSL-layer faults inside each device run
+            and the network-layer drops/slow-reads on the uplink.
+        workers: per-device ``run_sessions`` workers (processes).
+        transport: ``"tcp"`` or ``"unix"`` (unix needs ``unix_path``).
+        queue_size: the collector's backpressure bound.
+        retry: client backoff schedule (default is fast — simulated
+            devices should not serialize a test run on wall-clock
+            sleeps).
+        metrics: optional caller registry; when enabled, each device
+            also records a device-side registry, ships its snapshot, and
+            the merged collector registry is folded back into ``metrics``.
+        device_threads: thread-pool width for concurrent devices.
+    """
+
+    def __init__(
+        self,
+        store,
+        device_config,
+        target,
+        credential: str,
+        devices: int = 3,
+        sessions_per_device: int = 2,
+        config=None,
+        seed: int = 7,
+        workers: int = 1,
+        transport: str = "tcp",
+        unix_path: Optional[str] = None,
+        queue_size: int = 256,
+        read_timeout_s: float = 30.0,
+        retry: RetryPolicy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.25),
+        metrics: Optional[MetricsRegistry] = None,
+        device_threads: Optional[int] = None,
+    ) -> None:
+        if devices < 1:
+            raise ValueError("devices must be >= 1")
+        if sessions_per_device < 1:
+            raise ValueError("sessions_per_device must be >= 1")
+        if config is None:
+            from repro.api import AttackConfig
+
+            config = AttackConfig()
+        self.store = store
+        self.device_config = device_config
+        self.target = target
+        self.credential = credential
+        self.devices = devices
+        self.sessions_per_device = sessions_per_device
+        self.config = config
+        self.seed = seed
+        self.workers = workers
+        self.transport = transport
+        self.unix_path = unix_path
+        self.queue_size = queue_size
+        self.read_timeout_s = read_timeout_s
+        self.retry = retry
+        self.metrics = metrics
+        self.device_threads = device_threads
+
+    # ------------------------------------------------------------------
+
+    def _run_device(self, d: int, endpoint) -> DeviceOutcome:
+        """One device: simulate → attack → stream results to the collector."""
+        from repro.api import run_sessions, simulate
+
+        device_id = f"device-{d:04d}"
+        dev_seed = self.seed + DEVICE_SEED_STRIDE * d
+        metrics_on = self.metrics is not None and self.metrics.enabled
+        registry = MetricsRegistry() if metrics_on else None
+        traces = [
+            simulate(
+                self.device_config,
+                self.target,
+                self.credential,
+                seed=dev_seed + i,
+                config=self.config,
+            )
+            for i in range(self.sessions_per_device)
+        ]
+        batch = run_sessions(
+            self.store,
+            traces,
+            seed=dev_seed + 500,
+            config=self.config,
+            metrics=registry,
+            workers=self.workers,
+        )
+        delivered = 0
+        undelivered = 0
+        exact = 0
+        client = CollectorClient(
+            endpoint,
+            device_id,
+            fault_plan=self.config.fault_plan,
+            retry=self.retry,
+            seed_offset=dev_seed,
+        )
+        with client:
+            for i, result in enumerate(batch):
+                payload = SessionResultPayload.from_result(
+                    result,
+                    device_id=device_id,
+                    session_index=i,
+                    seed=dev_seed + i,
+                    expected=self.credential,
+                )
+                if payload.exact:
+                    exact += 1
+                try:
+                    client.send_result(payload)
+                    delivered += 1
+                except CollectorClientError:
+                    undelivered += 1
+            if registry is not None:
+                client.send_metrics(registry.snapshot())
+        return DeviceOutcome(
+            device_id=device_id,
+            sessions=len(batch),
+            delivered=delivered,
+            undelivered=undelivered,
+            exact=exact,
+            stats=client.stats,
+        )
+
+    def run(self) -> FleetReport:
+        """Stand up the collector, run every device, drain, and report."""
+        handle = CollectorHandle(
+            transport=self.transport,
+            unix_path=self.unix_path,
+            queue_size=self.queue_size,
+            read_timeout_s=self.read_timeout_s,
+        )
+        endpoint = handle.start()
+        started = time.perf_counter()
+        outcomes: List[DeviceOutcome] = []
+        try:
+            width = self.device_threads or min(self.devices, 8)
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                futures = [
+                    pool.submit(self._run_device, d, endpoint)
+                    for d in range(self.devices)
+                ]
+                for d, future in enumerate(futures):
+                    try:
+                        outcomes.append(future.result())
+                    except Exception as exc:  # a device died outright
+                        outcomes.append(
+                            DeviceOutcome(
+                                device_id=f"device-{d:04d}",
+                                sessions=self.sessions_per_device,
+                                delivered=0,
+                                undelivered=self.sessions_per_device,
+                                exact=0,
+                                stats=ClientStats(),
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+        finally:
+            handle.stop(drain=True)
+        wall = time.perf_counter() - started
+        server = handle.server
+        counters: Dict[str, int] = {
+            name: server.registry.counter(name).value
+            for name in (
+                "collector.sessions_ingested",
+                "collector.dupes_dropped",
+                "collector.sessions_exact",
+                "collector.sessions_degraded",
+            )
+        }
+        sessions_total = self.devices * self.sessions_per_device
+        ingested = counters["collector.sessions_ingested"]
+        results = sorted(
+            server.results, key=lambda p: (p.device_id, p.session_index)
+        )
+        report = FleetReport(
+            devices=self.devices,
+            sessions_total=sessions_total,
+            ingested=ingested,
+            lost=sessions_total - ingested,
+            duplicates_dropped=counters["collector.dupes_dropped"],
+            exact=counters["collector.sessions_exact"],
+            degraded=counters["collector.sessions_degraded"],
+            retries=sum(o.stats.retries for o in outcomes),
+            reconnects=sum(o.stats.reconnects for o in outcomes),
+            wall_s=wall,
+            ingest_rate=ingested / wall if wall > 0 else 0.0,
+            results=results,
+            outcomes=outcomes,
+        )
+        meta = {
+            "command": "fleet",
+            "devices": self.devices,
+            "sessions": sessions_total,
+            "workers": self.workers,
+        }
+        if self.metrics is not None and self.metrics.enabled:
+            # fold the collector's registry (which already absorbed the
+            # per-device snapshots) into the caller's run registry, so
+            # one manifest covers attack + network + ingestion
+            self.metrics.merge_snapshot(server.registry.snapshot())
+            report.manifest = self.metrics.manifest(
+                config=self.config.to_dict(), **meta
+            )
+        else:
+            report.manifest = server.report(**meta)
+        return report

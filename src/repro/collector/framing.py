@@ -1,0 +1,197 @@
+"""Wire format of the fleet collector: length-prefixed JSON frames.
+
+Every message on a collector connection — in either direction — is one
+*frame*: a 4-byte big-endian unsigned length followed by that many bytes
+of UTF-8 JSON encoding one object.  The frame ``type`` field selects the
+message kind:
+
+client → server
+    * ``hello``   — opens a device stream (``device_id``, ``proto``);
+    * ``result``  — one :class:`SessionResultPayload` under a
+      per-device ``seq`` number (the retry/dedup key);
+    * ``metrics`` — a device-side ``MetricsRegistry.snapshot()`` to fold
+      into the collector's run registry;
+    * ``bye``     — closes the stream and reports client-side tallies
+      (frames sent, retries, reconnects).
+
+server → client
+    * ``hello_ok`` / ``ack`` / ``metrics_ok`` / ``bye_ok`` — one reply
+      per request frame; ``ack`` echoes the result's ``seq``.
+
+The protocol is deliberately request/response per frame: a client knows
+a result is durable exactly when its ``ack`` arrives, which is what
+makes resend-until-acked safe — the server deduplicates resends by
+``(device_id, seq)``, so a lost ack costs one duplicate frame, never a
+duplicate *result*.
+
+Length prefixes are capped (:data:`MAX_FRAME_BYTES`); an oversized or
+non-JSON frame raises :class:`FrameError`, which the server counts as
+``collector.malformed_frames`` and answers by closing the connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+#: Protocol revision carried in the ``hello`` frame.
+PROTO_VERSION = 1
+
+#: Hard cap on one frame's JSON body; a length prefix beyond this is
+#: treated as a corrupt stream, not an allocation request.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """A malformed, oversized, or truncated frame."""
+
+
+class ConnectionClosed(FrameError):
+    """The peer closed the connection cleanly between frames."""
+
+
+def encode_frame(obj: Mapping[str, object]) -> bytes:
+    """One mapping as a length-prefixed JSON frame."""
+    body = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, object]:
+    """The JSON object inside one frame body."""
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError(f"frame body must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def parse_length(prefix: bytes, max_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Validate and unpack a 4-byte length prefix."""
+    if len(prefix) != _LEN.size:
+        raise FrameError(f"truncated length prefix ({len(prefix)} bytes)")
+    (length,) = _LEN.unpack(prefix)
+    if length > max_bytes:
+        raise FrameError(f"frame length {length} exceeds cap {max_bytes}")
+    return length
+
+
+async def read_frame_async(reader, max_bytes: int = MAX_FRAME_BYTES) -> Dict[str, object]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Raises :class:`ConnectionClosed` on clean EOF between frames and
+    :class:`FrameError` on EOF mid-frame or a corrupt prefix/body.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionClosed("peer closed between frames") from exc
+        raise FrameError("connection closed inside a length prefix") from exc
+    length = parse_length(prefix, max_bytes)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed inside a frame body") from exc
+    return decode_body(body)
+
+
+def read_frame_sock(sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES) -> Dict[str, object]:
+    """Read one frame from a blocking socket (the client side)."""
+
+    def read_exactly(n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                if remaining == n and not chunks:
+                    raise ConnectionClosed("peer closed between frames")
+                raise FrameError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    length = parse_length(read_exactly(_LEN.size), max_bytes)
+    return decode_body(read_exactly(length))
+
+
+@dataclass
+class SessionResultPayload:
+    """The serializable unit one device reports per finished session.
+
+    This is the *shipped* form of a run-level result — everything fleet
+    aggregation needs, nothing that drags simulator objects across the
+    wire.  ``metrics`` optionally carries the device run's
+    ``MetricsRegistry.snapshot()`` (most devices send one consolidated
+    ``metrics`` frame instead; see :mod:`repro.collector.fleet`).
+    """
+
+    device_id: str
+    session_index: int
+    text: str
+    n_keys: int
+    degraded: bool = False
+    exact: Optional[bool] = None
+    seed: int = 0
+    metrics: Optional[Dict[str, object]] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(
+        cls,
+        result,
+        device_id: str,
+        session_index: int,
+        seed: int = 0,
+        expected: Optional[str] = None,
+        metrics: Optional[Dict[str, object]] = None,
+    ) -> "SessionResultPayload":
+        """Build from any :class:`~repro.core.results.SessionResult`."""
+        text = result.text
+        return cls(
+            device_id=device_id,
+            session_index=session_index,
+            text=text,
+            n_keys=len(result.keys),
+            degraded=bool(getattr(result, "degraded", False)),
+            exact=None if expected is None else text == expected,
+            seed=seed,
+            metrics=metrics,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "device_id": self.device_id,
+            "session_index": self.session_index,
+            "text": self.text,
+            "n_keys": self.n_keys,
+            "degraded": self.degraded,
+            "exact": self.exact,
+            "seed": self.seed,
+            "metrics": self.metrics,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SessionResultPayload":
+        known = {
+            "device_id", "session_index", "text", "n_keys", "degraded",
+            "exact", "seed", "metrics", "meta",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SessionResultPayload fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs.setdefault("meta", {})
+        return cls(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,394 @@
+"""The asyncio ingestion service the fleet reports into.
+
+A :class:`CollectorServer` accepts length-prefixed JSON frames (see
+:mod:`repro.collector.framing`) over TCP or a unix socket, pushes every
+accepted result through a **bounded in-flight queue**, and aggregates on
+the far side of it into the run's :class:`~repro.obs.MetricsRegistry`
+and result list.
+
+Why a queue at all?  Backpressure.  The connection handlers are I/O
+bound and cheap; aggregation (metrics merging, result retention, user
+callbacks) is the part that can fall behind under fleet load.  With a
+bounded queue, a slow aggregator makes ``queue.put`` await, which stops
+that connection's read loop, which fills the kernel socket buffer,
+which blocks the client's ``send`` — backpressure propagates to the
+device instead of growing server memory without limit.  The ``ack`` for
+a result frame is written only *after* the enqueue succeeds, so a
+client's retry discipline composes with the server's admission control.
+
+Delivery contract: resends are deduplicated by ``(device_id, seq)``
+(counted as ``collector.dupes_dropped`` and re-acked), so a client that
+resends until acked gets **exactly-once aggregation** over an
+at-least-once transport.
+
+Shutdown is a graceful drain: stop accepting, close idle connections,
+wait for in-flight handlers, then run the queue dry before the
+aggregator exits — nothing admitted is ever dropped.
+
+The server exports ``collector.*`` metrics (ingest counters, queue
+depth gauges, retry tallies reported by clients at ``bye``); the full
+table is in ``docs/collector.md``.
+
+Threading: :class:`CollectorServer` is pure asyncio.  Synchronous
+callers (the CLI, tests, :class:`~repro.collector.fleet.FleetDriver`)
+use :class:`CollectorHandle`, which hosts the server's event loop on a
+daemon thread and exposes plain ``start()`` / ``stop()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.collector.framing import (
+    MAX_FRAME_BYTES,
+    PROTO_VERSION,
+    ConnectionClosed,
+    FrameError,
+    SessionResultPayload,
+    encode_frame,
+    read_frame_async,
+)
+from repro.obs import MetricsRegistry, RunManifest
+
+#: Endpoint tuples: ``("tcp", host, port)`` or ``("unix", path)``.
+Endpoint = Tuple
+
+
+class CollectorServer:
+    """Bounded-queue frame ingestion over TCP or a unix socket.
+
+    Args:
+        transport: ``"tcp"`` or ``"unix"``.
+        host / port: TCP bind address (``port=0`` picks a free port).
+        unix_path: filesystem path for the unix-socket transport.
+        queue_size: in-flight result bound — the backpressure knob.
+        read_timeout_s: per-connection idle read timeout; a connection
+            that sends nothing for this long is closed (counted as
+            ``collector.connection_timeouts``).
+        drain_timeout_s: how long :meth:`stop` waits for in-flight
+            connections before force-closing them.
+        metrics: the registry aggregation lands in; defaults to a fresh
+            enabled :class:`MetricsRegistry` (the collector always
+            counts — its report *is* the product).
+        keep_results: retain ingested payloads on :attr:`results`
+            (aggregation-only deployments can turn this off).
+        on_result: optional callback invoked by the aggregator for every
+            accepted payload (runs on the event loop — keep it short, or
+            rely on the queue bound to absorb it).
+    """
+
+    def __init__(
+        self,
+        transport: str = "tcp",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        queue_size: int = 256,
+        read_timeout_s: float = 30.0,
+        drain_timeout_s: float = 10.0,
+        metrics: Optional[MetricsRegistry] = None,
+        keep_results: bool = True,
+        on_result=None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        if transport not in ("tcp", "unix"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if transport == "unix" and not unix_path:
+            raise ValueError("unix transport requires unix_path")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if read_timeout_s <= 0 or drain_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        self.transport = transport
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.queue_size = queue_size
+        self.read_timeout_s = read_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self.keep_results = keep_results
+        self.on_result = on_result
+        self.max_frame_bytes = max_frame_bytes
+
+        self.results: List[SessionResultPayload] = []
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._aggregator: Optional[asyncio.Task] = None
+        self._handlers: Set[asyncio.Task] = set()
+        self._seen: Dict[str, Set[int]] = {}
+        self._queue_peak = 0
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> Endpoint:
+        """Bind, start serving, and return the connectable endpoint."""
+        if self._server is not None:
+            raise RuntimeError("collector already started")
+        self._queue = asyncio.Queue(maxsize=self.queue_size)
+        if self.transport == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.host, port=self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        self._aggregator = asyncio.create_task(self._aggregate())
+        self._started_at = time.perf_counter()
+        return self.endpoint
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """Where clients connect: ``("tcp", host, port)`` or ``("unix", path)``."""
+        if self.transport == "unix":
+            return ("unix", self.unix_path)
+        return ("tcp", self.host, self.port)
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight work, and shut the service down.
+
+        With ``drain=True`` (the default) every connection still talking
+        gets up to ``drain_timeout_s`` to finish, and everything already
+        admitted to the queue is aggregated before the aggregator task
+        exits.  ``drain=False`` force-closes immediately (queued frames
+        are still aggregated — they were acked).
+        """
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        if self._handlers:
+            if drain:
+                await asyncio.wait(self._handlers, timeout=self.drain_timeout_s)
+            for task in list(self._handlers):
+                task.cancel()
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        await self._queue.join()
+        self._aggregator.cancel()
+        await asyncio.gather(self._aggregator, return_exceptions=True)
+        wall = time.perf_counter() - (self._started_at or time.perf_counter())
+        self.registry.gauge("collector.wall_s").set(wall)
+        if wall > 0:
+            ingested = self.registry.counter("collector.sessions_ingested").value
+            self.registry.gauge("collector.ingest_rate").set(ingested / wall)
+        self.registry.gauge("collector.queue_depth_peak").set(self._queue_peak)
+        self._server = None
+
+    def report(self, **meta) -> RunManifest:
+        """The collector's run manifest (``collector.*`` rollups)."""
+        return self.registry.manifest(
+            transport=self.transport, queue_size=self.queue_size, **meta
+        )
+
+    # -- connection handling --------------------------------------------
+
+    def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        task = asyncio.create_task(self._handle(reader, writer))
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        counters = self.registry.counter
+        counters("collector.connections_opened").inc()
+        device_id = "?"
+        try:
+            while True:
+                try:
+                    frame = await asyncio.wait_for(
+                        read_frame_async(reader, self.max_frame_bytes),
+                        timeout=self.read_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    counters("collector.connection_timeouts").inc()
+                    return
+                except ConnectionClosed:
+                    return
+                except FrameError:
+                    counters("collector.malformed_frames").inc()
+                    return
+                kind = frame.get("type")
+                if kind == "result":
+                    device_id = str(frame.get("device_id", device_id))
+                    if not await self._admit_result(frame):
+                        counters("collector.malformed_frames").inc()
+                        return
+                    writer.write(encode_frame({"type": "ack", "seq": frame["seq"]}))
+                elif kind == "hello":
+                    device_id = str(frame.get("device_id", "?"))
+                    if frame.get("proto") != PROTO_VERSION:
+                        counters("collector.proto_rejected").inc()
+                        writer.write(
+                            encode_frame({"type": "error", "error": "proto mismatch"})
+                        )
+                        return
+                    counters("collector.devices_seen").inc()
+                    writer.write(encode_frame({"type": "hello_ok"}))
+                elif kind == "metrics":
+                    snapshot = frame.get("snapshot")
+                    if isinstance(snapshot, dict):
+                        self.registry.merge_snapshot(snapshot)
+                        counters("collector.metrics_frames").inc()
+                    writer.write(encode_frame({"type": "metrics_ok"}))
+                elif kind == "bye":
+                    counters("collector.client_retries").inc(int(frame.get("retries", 0)))
+                    counters("collector.client_reconnects").inc(
+                        int(frame.get("reconnects", 0))
+                    )
+                    writer.write(encode_frame({"type": "bye_ok"}))
+                    await writer.drain()
+                    return
+                else:
+                    counters("collector.malformed_frames").inc()
+                    return
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            # client went away mid-reply, or stop() force-closed us; any
+            # un-acked frame will be resent to the next connection
+            return
+        finally:
+            counters("collector.connections_closed").inc()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _admit_result(self, frame: Dict[str, object]) -> bool:
+        """Dedup-check one result frame and enqueue it; False = malformed.
+
+        The enqueue is the backpressure point: with the queue full this
+        awaits, the connection stops reading, and the client blocks in
+        ``send`` until the aggregator catches up.
+        """
+        seq = frame.get("seq")
+        payload_dict = frame.get("payload")
+        if not isinstance(seq, int) or not isinstance(payload_dict, dict):
+            return False
+        try:
+            payload = SessionResultPayload.from_dict(payload_dict)
+        except (ValueError, TypeError):
+            return False
+        self.registry.counter("collector.frames_ingested").inc()
+        seen = self._seen.setdefault(payload.device_id, set())
+        if seq in seen:
+            # a resend of something already admitted (its ack was lost);
+            # re-ack without re-aggregating
+            self.registry.counter("collector.dupes_dropped").inc()
+            return True
+        seen.add(seq)
+        await self._queue.put(payload)
+        depth = self._queue.qsize()
+        if depth > self._queue_peak:
+            self._queue_peak = depth
+        self.registry.gauge("collector.queue_depth").set(depth)
+        return True
+
+    # -- aggregation ----------------------------------------------------
+
+    async def _aggregate(self) -> None:
+        """The queue consumer: the only writer of run-level aggregation."""
+        while True:
+            payload = await self._queue.get()
+            try:
+                await self._aggregate_one(payload)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # an aggregation callback failure must not wedge the
+                # queue (stop() joins it) or kill the consumer
+                self.registry.counter("collector.aggregation_errors").inc()
+            finally:
+                self._queue.task_done()
+                self.registry.gauge("collector.queue_depth").set(self._queue.qsize())
+
+    async def _aggregate_one(self, payload: SessionResultPayload) -> None:
+        self.registry.counter("collector.sessions_ingested").inc()
+        if payload.degraded:
+            self.registry.counter("collector.sessions_degraded").inc()
+        if payload.exact is not None:
+            self.registry.counter("collector.sessions_scored").inc()
+            if payload.exact:
+                self.registry.counter("collector.sessions_exact").inc()
+        if payload.metrics is not None:
+            self.registry.merge_snapshot(payload.metrics)
+        if self.keep_results:
+            self.results.append(payload)
+        if self.on_result is not None:
+            maybe_awaitable = self.on_result(payload)
+            if asyncio.iscoroutine(maybe_awaitable):
+                await maybe_awaitable
+
+
+class CollectorHandle:
+    """A collector hosted on its own event-loop thread.
+
+    The synchronous façade the rest of the codebase uses::
+
+        with CollectorHandle(transport="unix", unix_path=p) as handle:
+            endpoint = handle.endpoint
+            ... clients stream into it ...
+        # exiting drains and stops the server; handle.server.results is final
+
+    ``stop()`` (or context exit) performs the graceful drain described
+    on :meth:`CollectorServer.stop`.
+    """
+
+    def __init__(self, **server_kwargs) -> None:
+        self.server = CollectorServer(**server_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self.endpoint: Optional[Endpoint] = None
+
+    def start(self) -> Endpoint:
+        if self._thread is not None:
+            raise RuntimeError("collector handle already started")
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                self.endpoint = loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # surface bind errors to start()
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-collector", daemon=True)
+        self._thread.start()
+        started.wait()
+        if failure:
+            self._thread.join()
+            self._thread = None
+            raise failure[0]
+        return self.endpoint
+
+    def stop(self, drain: bool = True) -> None:
+        if self._thread is None or self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(drain=drain), self._loop)
+        future.result(timeout=self.server.drain_timeout_s + 30.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "CollectorHandle":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -11,6 +11,22 @@ from repro.core.model_store import ModelStore
 from repro.core.pipeline import train_model
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-trace fixtures under tests/golden/ "
+        "instead of asserting byte parity against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request):
+    """True when the run should rewrite golden fixtures rather than compare."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def config():
     """The paper's workhorse configuration (Oneplus 8 Pro, Gboard)."""

@@ -1,0 +1,150 @@
+"""End-to-end CLI smoke tests: the real process, the real entry point.
+
+``tests/test_cli.py`` calls :func:`repro.cli.main` in-process, which is
+fast but cannot catch packaging-level breakage — import cycles that only
+bite on cold start, output buffered but never flushed, exit codes
+swallowed by the ``python -m repro`` shim, manifests written relative to
+an unexpected cwd.  These tests spawn ``sys.executable -m repro`` as a
+real subprocess and assert on the three observable surfaces a scripted
+caller depends on: exit code, stdout shape, and the ``--metrics-out``
+JSON schema.
+
+Kept to one invocation per command (plus one shared train step) so the
+subprocess overhead stays in smoke-test territory.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+MANIFEST_SCHEMA = "repro.obs/1"
+
+
+def run_cli(*argv, timeout=120):
+    """Run ``python -m repro <argv>`` with src/ on PYTHONPATH."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    # keep subprocess runs hermetic: the fault-matrix env var must not
+    # leak into smoke assertions about exit codes
+    env.pop("REPRO_FAULT_PROFILE", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+def assert_manifest_schema(path: Path, command: str) -> dict:
+    """The contract every ``--metrics-out`` file honours."""
+    manifest = json.loads(path.read_text())
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["meta"]["command"] == command
+    assert isinstance(manifest["meta"]["sessions"], int)
+    assert isinstance(manifest["config"], dict)
+    metrics = manifest["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        assert isinstance(metrics[section], dict)
+    assert all(isinstance(v, int) for v in metrics["counters"].values())
+    assert isinstance(manifest["spans"], dict)
+    return manifest
+
+
+@pytest.fixture(scope="module")
+def trained_store(tmp_path_factory):
+    """One ``repro train`` subprocess shared by the attack tests."""
+    store_path = tmp_path_factory.mktemp("cli_e2e") / "store.json"
+    proc = run_cli("train", str(store_path))
+    assert proc.returncode == 0, proc.stderr
+    assert store_path.exists()
+    return store_path
+
+
+class TestStealE2E:
+    def test_steal_exit_code_stdout_and_manifest(self, tmp_path):
+        metrics_path = tmp_path / "steal_manifest.json"
+        proc = run_cli(
+            "steal", "hunterpw12", "--seed", "7",
+            "--metrics-out", str(metrics_path),
+        )
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout
+        assert "typed    : 'hunterpw12'" in out
+        assert "inferred :" in out
+        assert "outcome  : EXACT" in out
+        manifest = assert_manifest_schema(metrics_path, "steal")
+        assert manifest["metrics"]["counters"]["sampler.reads_issued"] > 0
+
+    def test_unknown_app_fails_nonzero(self):
+        proc = run_cli("steal", "hunterpw12", "--app", "definitely-not-an-app")
+        assert proc.returncode != 0
+
+
+class TestAttackE2E:
+    def test_attack_workers2_batch(self, trained_store, tmp_path):
+        metrics_path = tmp_path / "attack_manifest.json"
+        proc = run_cli(
+            "attack", str(trained_store), "secretpw1",
+            "--sessions", "2", "--workers", "2", "--seed", "5",
+            "--metrics-out", str(metrics_path),
+        )
+        assert proc.returncode in (0, 1), proc.stderr
+        out = proc.stdout
+        assert "session   0:" in out
+        assert "session   1:" in out
+        assert "typed          : 'secretpw1'" in out
+        assert "sessions       : 2 (workers=2)" in out
+        assert "exact matches  :" in out
+        assert "throughput     :" in out
+        manifest = assert_manifest_schema(metrics_path, "attack")
+        assert manifest["meta"]["sessions"] == 2
+
+    def test_attack_missing_store_fails(self, tmp_path):
+        proc = run_cli("attack", str(tmp_path / "nope.json"), "secretpw1")
+        assert proc.returncode != 0
+
+
+class TestFleetE2E:
+    def test_fleet_streams_devices_through_collector(self, tmp_path):
+        metrics_path = tmp_path / "fleet_manifest.json"
+        proc = run_cli(
+            "fleet", "pw123456",
+            "--devices", "2", "--sessions", "1", "--seed", "3",
+            "--metrics-out", str(metrics_path),
+        )
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout
+        assert "fleet      : 2 devices x 1 sessions" in out
+        assert "ingested   : 2/2 results (0 lost" in out
+        assert "delivery   :" in out
+        assert "exact      :" in out
+        assert "throughput :" in out
+        manifest = assert_manifest_schema(metrics_path, "fleet")
+        counters = manifest["metrics"]["counters"]
+        assert counters["collector.sessions_ingested"] == 2
+        assert counters["collector.devices_seen"] == 2
+
+    def test_fleet_rejects_bad_device_count(self):
+        proc = run_cli("fleet", "pw123456", "--devices", "0")
+        assert proc.returncode != 0
+
+
+class TestTopLevelE2E:
+    def test_no_args_shows_usage_exit_2(self):
+        proc = run_cli()
+        assert proc.returncode == 2
+        assert "usage" in (proc.stderr + proc.stdout).lower()
+
+    def test_devices_lists_inventory(self):
+        proc = run_cli("devices")
+        assert proc.returncode == 0
+        for expected in ("oneplus8pro", "gboard", "chase"):
+            assert expected in proc.stdout

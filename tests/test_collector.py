@@ -1,0 +1,436 @@
+"""Tests for the fleet collector: framing, delivery, backpressure, fleet."""
+
+import socket
+import time
+
+import pytest
+
+from repro.api import run_fleet
+from repro.collector import (
+    CollectorClient,
+    CollectorClientError,
+    CollectorHandle,
+    CollectorServer,
+    FleetDriver,
+    NetworkFaultInjector,
+    RetryPolicy,
+    SessionResultPayload,
+    encode_frame,
+    read_frame_sock,
+)
+from repro.collector.framing import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    FrameError,
+    decode_body,
+    parse_length,
+)
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry
+
+NO_SLEEP = lambda s: None  # noqa: E731 — instant backoff for tests
+FAST_RETRY = RetryPolicy(max_attempts=8, base_delay_s=0.001, max_delay_s=0.01)
+
+
+def payloads_for(device_id, n, text="pw", exact=True):
+    return [
+        SessionResultPayload(device_id, i, text, len(text), exact=exact)
+        for i in range(n)
+    ]
+
+
+def raw_connect(endpoint):
+    assert endpoint[0] == "tcp"
+    sock = socket.create_connection((endpoint[1], endpoint[2]), timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+# ---------------------------------------------------------------------------
+# framing
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame({"type": "ack", "seq": 7})
+        assert parse_length(frame[:4]) == len(frame) - 4
+        assert decode_body(frame[4:]) == {"type": "ack", "seq": 7}
+
+    def test_oversized_length_prefix_rejected(self):
+        with pytest.raises(FrameError, match="exceeds cap"):
+            parse_length((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(FrameError, match="truncated"):
+            parse_length(b"\x00\x00")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_body(b"[1, 2]")
+        with pytest.raises(FrameError, match="not valid JSON"):
+            decode_body(b"{nope")
+
+    def test_payload_dict_round_trip(self):
+        payload = SessionResultPayload(
+            "device-0001", 3, "hunter2", 7, degraded=True, exact=False, seed=42
+        )
+        assert SessionResultPayload.from_dict(payload.to_dict()) == payload
+
+    def test_payload_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SessionResultPayload.from_dict({"device_id": "d", "bogus": 1})
+
+    def test_payload_from_result_scores_expected(self):
+        class FakeResult:
+            text = "secret"
+            keys = [1, 2, 3]
+            degraded = False
+
+        payload = SessionResultPayload.from_result(
+            FakeResult(), device_id="d", session_index=0, expected="secret"
+        )
+        assert payload.exact is True
+        assert payload.n_keys == 3
+        missed = SessionResultPayload.from_result(
+            FakeResult(), device_id="d", session_index=1, expected="other"
+        )
+        assert missed.exact is False
+
+
+# ---------------------------------------------------------------------------
+# server + client delivery
+
+
+class TestDelivery:
+    def test_tcp_round_trip_all_ingested(self):
+        with CollectorHandle(transport="tcp") as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+            ) as client:
+                client.send_results(payloads_for("device-0000", 10))
+        server = handle.server
+        assert len(server.results) == 10
+        assert server.registry.counter("collector.sessions_ingested").value == 10
+        assert server.registry.counter("collector.sessions_exact").value == 10
+        assert server.registry.counter("collector.dupes_dropped").value == 0
+        # results arrive in seq order on one connection
+        assert [p.session_index for p in server.results] == list(range(10))
+
+    def test_unix_socket_transport(self, tmp_path):
+        path = str(tmp_path / "collector.sock")
+        with CollectorHandle(transport="unix", unix_path=path) as handle:
+            assert handle.endpoint == ("unix", path)
+            with CollectorClient(
+                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+            ) as client:
+                client.send_results(payloads_for("device-0000", 5))
+        assert len(handle.server.results) == 5
+
+    def test_resend_is_deduplicated(self):
+        with CollectorHandle(transport="tcp") as handle:
+            sock = raw_connect(handle.endpoint)
+            frame = {
+                "type": "result",
+                "device_id": "device-0000",
+                "seq": 0,
+                "payload": SessionResultPayload("device-0000", 0, "pw", 2).to_dict(),
+            }
+            for _ in range(3):
+                sock.sendall(encode_frame(frame))
+                assert read_frame_sock(sock) == {"type": "ack", "seq": 0}
+            sock.close()
+        server = handle.server
+        assert len(server.results) == 1
+        assert server.registry.counter("collector.frames_ingested").value == 3
+        assert server.registry.counter("collector.dupes_dropped").value == 2
+
+    def test_devices_do_not_share_dedup_space(self):
+        with CollectorHandle(transport="tcp") as handle:
+            for device in ("device-0000", "device-0001"):
+                with CollectorClient(
+                    handle.endpoint, device, retry=FAST_RETRY, sleep=NO_SLEEP
+                ) as client:
+                    client.send_results(payloads_for(device, 3))
+        assert len(handle.server.results) == 6
+
+    def test_injected_drops_are_absorbed_with_zero_loss(self):
+        plan = FaultPlan(seed=5, read_error_prob=0.3, jitter_prob=0.2, jitter_s=1e-4)
+        with CollectorHandle(transport="tcp") as handle:
+            client = CollectorClient(
+                handle.endpoint,
+                "device-0000",
+                fault_plan=plan,
+                retry=FAST_RETRY,
+                seed_offset=9,
+                sleep=NO_SLEEP,
+            )
+            with client:
+                client.send_results(payloads_for("device-0000", 40))
+        server = handle.server
+        assert len(server.results) == 40
+        assert client.stats.retries > 0
+        assert client.stats.injected_drops > 0
+        # drop-after-send resends surface as deduplicated frames
+        assert (
+            server.registry.counter("collector.dupes_dropped").value
+            + server.registry.counter("collector.sessions_ingested").value
+            == server.registry.counter("collector.frames_ingested").value
+        )
+        # the client's bye tally landed in the collector registry
+        assert (
+            server.registry.counter("collector.client_retries").value
+            == client.stats.retries
+        )
+
+    def test_client_gives_up_when_collector_is_gone(self):
+        handle = CollectorHandle(transport="tcp")
+        endpoint = handle.start()
+        handle.stop()
+        client = CollectorClient(
+            endpoint,
+            "device-0000",
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.001),
+            sleep=NO_SLEEP,
+        )
+        with pytest.raises(CollectorClientError, match="undelivered after 3 attempts"):
+            client.send_result(SessionResultPayload("device-0000", 0, "pw", 2))
+
+    def test_client_survives_server_side_idle_timeout(self):
+        with CollectorHandle(transport="tcp", read_timeout_s=0.05) as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+            ) as client:
+                client.send_result(SessionResultPayload("device-0000", 0, "pw", 2))
+                deadline = time.monotonic() + 2.0
+                while (
+                    handle.server.registry.counter(
+                        "collector.connection_timeouts"
+                    ).value
+                    == 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                # the server timed the idle connection out; the next send
+                # must transparently reconnect and deliver
+                client.send_result(SessionResultPayload("device-0000", 1, "pw", 2))
+        server = handle.server
+        assert server.registry.counter("collector.connection_timeouts").value >= 1
+        assert len(server.results) == 2
+        assert client.stats.reconnects >= 1
+
+    def test_malformed_frame_closes_connection(self):
+        with CollectorHandle(transport="tcp") as handle:
+            sock = raw_connect(handle.endpoint)
+            sock.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"xxxx")
+            assert sock.recv(1) == b""  # server hung up
+            sock.close()
+            sock = raw_connect(handle.endpoint)
+            sock.sendall(encode_frame({"type": "mystery"}))
+            assert sock.recv(1) == b""
+            sock.close()
+        assert handle.server.registry.counter("collector.malformed_frames").value == 2
+
+    def test_hello_proto_mismatch_rejected(self):
+        with CollectorHandle(transport="tcp") as handle:
+            sock = raw_connect(handle.endpoint)
+            sock.sendall(encode_frame({"type": "hello", "device_id": "d", "proto": 99}))
+            assert read_frame_sock(sock)["type"] == "error"
+            with pytest.raises((ConnectionClosed, OSError)):
+                read_frame_sock(sock)
+            sock.close()
+        assert handle.server.registry.counter("collector.proto_rejected").value == 1
+
+    def test_metrics_frame_merges_into_registry(self):
+        device = MetricsRegistry()
+        device.counter("engine.keys").inc(12)
+        with CollectorHandle(transport="tcp") as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+            ) as client:
+                client.send_metrics(device.snapshot())
+                client.send_metrics(device.snapshot())
+        registry = handle.server.registry
+        assert registry.counter("engine.keys").value == 24
+        assert registry.counter("collector.metrics_frames").value == 2
+
+    def test_server_validates_configuration(self):
+        with pytest.raises(ValueError, match="transport"):
+            CollectorServer(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="unix_path"):
+            CollectorServer(transport="unix")
+        with pytest.raises(ValueError, match="queue_size"):
+            CollectorServer(queue_size=0)
+        with pytest.raises(ValueError, match="timeouts"):
+            CollectorServer(read_timeout_s=0)
+
+
+class TestBackpressure:
+    def test_bounded_queue_blocks_producers_not_memory(self):
+        import asyncio
+
+        delay_s = 0.01
+        n = 12
+
+        async def slow_consumer(payload):
+            await asyncio.sleep(delay_s)
+
+        with CollectorHandle(
+            transport="tcp", queue_size=1, on_result=slow_consumer
+        ) as handle:
+            started = time.perf_counter()
+            with CollectorClient(
+                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+            ) as client:
+                client.send_results(payloads_for("device-0000", n))
+            elapsed = time.perf_counter() - started
+        server = handle.server
+        assert len(server.results) == n
+        # the queue bound held: admission never ran ahead of aggregation
+        assert server.registry.gauge("collector.queue_depth_peak").value <= 1
+        # and the producer was actually slowed to the consumer's pace
+        assert elapsed >= (n - 2) * delay_s
+
+    def test_graceful_drain_aggregates_everything_admitted(self):
+        import asyncio
+
+        async def slow_consumer(payload):
+            await asyncio.sleep(0.02)
+
+        with CollectorHandle(
+            transport="tcp", queue_size=64, on_result=slow_consumer
+        ) as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+            ) as client:
+                client.send_results(payloads_for("device-0000", 8))
+            # context exit stops the server; drain must finish the queue
+        assert len(handle.server.results) == 8
+
+    def test_aggregation_error_does_not_wedge_the_queue(self):
+        def explode(payload):
+            raise RuntimeError("aggregation bug")
+
+        with CollectorHandle(transport="tcp", on_result=explode) as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+            ) as client:
+                client.send_results(payloads_for("device-0000", 4))
+        registry = handle.server.registry
+        assert registry.counter("collector.aggregation_errors").value == 4
+        assert registry.counter("collector.sessions_ingested").value == 4
+
+
+class TestNetworkFaultInjector:
+    def test_deterministic_under_seed(self):
+        plan = FaultPlan(seed=7, read_error_prob=0.4, jitter_prob=0.3, jitter_s=0.01)
+        a = NetworkFaultInjector(plan, seed_offset=3)
+        b = NetworkFaultInjector(plan, seed_offset=3)
+        seq_a = [(a.connection_fault(), a.slow_read_delay_s()) for _ in range(50)]
+        seq_b = [(b.connection_fault(), b.slow_read_delay_s()) for _ in range(50)]
+        assert seq_a == seq_b
+        assert any(fault for fault, _ in seq_a)
+
+    def test_offset_decorrelates_devices(self):
+        plan = FaultPlan(seed=7, read_error_prob=0.4)
+        a = NetworkFaultInjector(plan, seed_offset=1)
+        b = NetworkFaultInjector(plan, seed_offset=2)
+        assert [a.connection_fault() for _ in range(60)] != [
+            b.connection_fault() for _ in range(60)
+        ]
+
+    def test_retry_policy_delay_bounds_and_validation(self):
+        import numpy as np
+
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, jitter_frac=0.5)
+        rng = np.random.default_rng(0)
+        for attempt in range(10):
+            delay = policy.delay_s(attempt, rng)
+            assert 0 < delay <= 0.5 * 1.5
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1)
+
+
+# ---------------------------------------------------------------------------
+# fleet
+
+
+class TestFleet:
+    def test_fleet_end_to_end(self, config, chase_store):
+        from repro.android.apps import CHASE
+        from repro.api import AttackConfig
+
+        report = run_fleet(
+            chase_store,
+            config,
+            CHASE,
+            "flpwd123",
+            devices=2,
+            sessions_per_device=1,
+            seed=21,
+            config=AttackConfig(recognize_device=False, fault_plan=None),
+        )
+        assert report.sessions_total == 2
+        assert report.ingested == 2
+        assert report.lost == 0
+        assert report.exact == 2
+        assert [p.device_id for p in report.results] == ["device-0000", "device-0001"]
+        assert report.manifest is not None
+        assert report.manifest.counters["collector.sessions_ingested"] == 2
+        assert report.manifest.meta["command"] == "fleet"
+
+    def test_fleet_with_metrics_merges_device_runs(self, config, chase_store):
+        from repro.android.apps import CHASE
+        from repro.api import AttackConfig
+
+        registry = MetricsRegistry()
+        report = run_fleet(
+            chase_store,
+            config,
+            CHASE,
+            "flpwd123",
+            devices=2,
+            sessions_per_device=1,
+            seed=33,
+            config=AttackConfig(recognize_device=False, fault_plan=None),
+            transport="tcp",
+            metrics=registry,
+        )
+        assert report.lost == 0
+        # device-side attack metrics crossed the wire and merged
+        assert registry.counter("collector.metrics_frames").value == 2
+        assert registry.counter("sampler.reads_issued").value > 0
+        assert report.manifest.config["recognize_device"] is False
+
+    def test_fleet_unix_transport_with_faults(self, config, chase_store, tmp_path):
+        from repro.android.apps import CHASE
+        from repro.api import AttackConfig
+
+        plan = FaultPlan(seed=4, read_error_prob=0.25, jitter_prob=0.1, jitter_s=1e-4)
+        report = run_fleet(
+            chase_store,
+            config,
+            CHASE,
+            "flpwd123",
+            devices=2,
+            sessions_per_device=2,
+            seed=5,
+            config=AttackConfig(recognize_device=False, fault_plan=plan),
+            transport="unix",
+            unix_path=str(tmp_path / "fleet.sock"),
+            retry=RetryPolicy(max_attempts=10, base_delay_s=0.001, max_delay_s=0.01),
+        )
+        # the delivery contract: injected drops never lose results
+        assert report.lost == 0
+        assert report.ingested == 4
+
+    def test_fleet_driver_validation(self, config, chase_store):
+        from repro.android.apps import CHASE
+
+        with pytest.raises(ValueError, match="devices"):
+            FleetDriver(chase_store, config, CHASE, "pw", devices=0)
+        with pytest.raises(ValueError, match="sessions_per_device"):
+            FleetDriver(chase_store, config, CHASE, "pw", sessions_per_device=0)

@@ -1,0 +1,196 @@
+"""Property-based tests for the invariants the runtime leans on.
+
+Two algebras carry correctness arguments elsewhere in the codebase and
+were only example-tested until now:
+
+* :class:`~repro.kgsl.sampler.PcDelta` — Algorithm 1's split recovery
+  assumes ``merge``/``scaled``/``split`` behave like exact interval
+  arithmetic (no events lost or invented), and masked-counter reads
+  must *fail loudly* rather than read as zero;
+* :class:`~repro.parallel.plan.ShardPlan` — the sharded runtime's
+  byte-parity merge assumes the partition is a permutation of the
+  session indices, deterministic under its seed, and balanced within
+  one session.
+
+Hypothesis generates the cases; the assertions are the invariants, not
+specific values.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.gpu import counters as pc
+from repro.kgsl.sampler import PcDelta
+from repro.parallel.plan import ShardPlan
+
+SPECS = list(pc.SELECTED_COUNTERS)
+
+
+@st.composite
+def pc_deltas(draw, min_values=0):
+    """A well-formed PcDelta: disjoint value/missing sets, ordered times."""
+    n_values = draw(st.integers(min_values, len(SPECS)))
+    shuffled = draw(st.permutations(SPECS))
+    value_specs = shuffled[:n_values]
+    n_missing = draw(st.integers(0, len(SPECS) - n_values))
+    missing_specs = shuffled[n_values : n_values + n_missing]
+    prev_t = draw(st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False))
+    dt = draw(st.floats(0.001, 2.0, allow_nan=False, allow_infinity=False))
+    return PcDelta(
+        t=prev_t + dt,
+        prev_t=prev_t,
+        values={
+            s.counter_id: draw(st.integers(0, 10**6)) for s in value_specs
+        },
+        missing=tuple(sorted(s.counter_id for s in missing_specs)),
+        gap=draw(st.booleans()),
+    )
+
+
+factors = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+
+
+class TestPcDeltaAlgebra:
+    @given(pc_deltas(), factors)
+    @settings(max_examples=80)
+    def test_split_round_trips_exactly(self, delta, factor):
+        part, remainder = delta.split(factor)
+        rebuilt = remainder.merge(part)
+        assert rebuilt.values == delta.values
+        assert rebuilt.t == delta.t
+        assert rebuilt.prev_t == delta.prev_t
+        assert set(rebuilt.missing) == set(delta.missing)
+        assert rebuilt.gap == delta.gap
+        # no events invented on either side of the split
+        assert part.total + remainder.total == delta.total
+
+    @given(pc_deltas(), factors)
+    @settings(max_examples=80)
+    def test_scaled_floors_and_never_goes_negative(self, delta, factor):
+        scaled = delta.scaled(factor)
+        for cid, value in delta.values.items():
+            assert scaled.values[cid] == int(value * factor)
+            assert 0 <= scaled.values[cid] <= value
+        assert scaled.missing == delta.missing
+        assert scaled.gap == delta.gap
+
+    @given(pc_deltas())
+    @settings(max_examples=40)
+    def test_scale_by_one_is_identity_and_negative_rejected(self, delta):
+        assert delta.scaled(1.0).values == delta.values
+        with pytest.raises(ValueError, match="non-negative"):
+            delta.scaled(-0.1)
+
+    @given(pc_deltas(), pc_deltas())
+    @settings(max_examples=80)
+    def test_merge_sums_values_and_unions_masks(self, earlier, later):
+        # place `earlier` strictly before `later` in both endpoints
+        shift = max(0.0, earlier.t - later.prev_t) + 1.0
+        later = PcDelta(
+            t=later.t + shift + earlier.t,
+            prev_t=later.prev_t + shift + earlier.t,
+            values=later.values,
+            missing=later.missing,
+            gap=later.gap,
+        )
+        merged = later.merge(earlier)
+        all_cids = set(earlier.values) | set(later.values)
+        for cid in all_cids:
+            assert merged.values[cid] == earlier.values.get(cid, 0) + later.values.get(cid, 0)
+        assert set(merged.missing) == set(earlier.missing) | set(later.missing)
+        assert merged.gap == (earlier.gap or later.gap)
+        assert merged.prev_t == earlier.prev_t
+        assert merged.t == later.t
+        # and the swapped call is rejected rather than fabricating time
+        with pytest.raises(ValueError, match="earlier delta"):
+            earlier.merge(later)
+
+    @given(pc_deltas())
+    @settings(max_examples=80)
+    def test_masked_counters_raise_instead_of_reading_zero(self, delta):
+        masked = set(delta.missing)
+        for spec in SPECS:
+            cid = spec.counter_id
+            if cid in delta.values:
+                assert delta.get(spec) == delta.values[cid]
+                # an explicit default never shadows a real value
+                assert delta.get(spec, default=-1) == delta.values[cid]
+            elif cid in masked:
+                with pytest.raises(KeyError, match="masked"):
+                    delta.get(spec)
+                assert delta.get(spec, default=17) == 17
+            else:
+                # never selected: zero change is a fact, not a guess
+                assert delta.get(spec) == 0
+                assert delta.get(spec, default=17) == 17
+
+    @given(pc_deltas())
+    @settings(max_examples=40)
+    def test_truthiness_and_degraded_flags(self, delta):
+        assert bool(delta) == any(delta.values.values())
+        assert delta.degraded == (bool(delta.missing) or delta.gap)
+        assert delta.total == sum(delta.values.values())
+
+
+class TestShardPlanProperties:
+    plan_args = (
+        st.integers(0, 200),  # n_sessions
+        st.integers(1, 17),  # workers
+        st.integers(0, 10_000),  # seed
+    )
+
+    @given(*plan_args)
+    @settings(max_examples=100)
+    def test_partition_is_a_permutation(self, n, workers, seed):
+        plan = ShardPlan(n, workers, seed=seed)
+        shards = plan.shards()
+        assert len(shards) == workers
+        flattened = [i for shard in shards for i in shard]
+        assert sorted(flattened) == list(range(n))
+        # ascending within each shard (merge relies on it)
+        for shard in shards:
+            assert shard == sorted(shard)
+
+    @given(*plan_args)
+    @settings(max_examples=100)
+    def test_deterministic_under_seed(self, n, workers, seed):
+        assert (
+            ShardPlan(n, workers, seed=seed).shards()
+            == ShardPlan(n, workers, seed=seed).shards()
+        )
+
+    @given(*plan_args)
+    @settings(max_examples=100)
+    def test_balanced_within_one(self, n, workers, seed):
+        sizes = [len(s) for s in ShardPlan(n, workers, seed=seed).shards()]
+        assert max(sizes) - min(sizes) <= 1
+        assert max(sizes) == ShardPlan(n, workers, seed=seed).max_shard_size
+
+    @given(*plan_args)
+    @settings(max_examples=100)
+    def test_shard_of_agrees_with_shards(self, n, workers, seed):
+        plan = ShardPlan(n, workers, seed=seed)
+        shards = plan.shards()
+        for index in range(n):
+            assert index in shards[plan.shard_of(index)]
+
+    @given(st.integers(1, 200), st.integers(1, 17), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_seed_rotates_assignment_not_shape(self, n, workers, seed):
+        base = [len(s) for s in ShardPlan(n, workers, seed=seed).shards()]
+        rotated = ShardPlan(n, workers, seed=seed + 1)
+        assert sorted(base) == sorted(len(s) for s in rotated.shards())
+        # the rotation law itself
+        for index in range(n):
+            assert rotated.shard_of(index) == (seed + 1 + index) % workers
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardPlan(4, 0)
+        with pytest.raises(ValueError, match="n_sessions"):
+            ShardPlan(-1, 2)
+        with pytest.raises(IndexError):
+            ShardPlan(3, 2).shard_of(3)
+        with pytest.raises(IndexError):
+            ShardPlan(3, 2).shard_of(-1)

@@ -10,31 +10,32 @@ app-switch detection and correction tracking.
 The stable, supported surface is :mod:`repro.api` — facade functions
 plus a typed :class:`~repro.api.AttackConfig`.  Quickstart::
 
-    from repro.api import CHASE, AttackConfig, attack, default_config, simulate, train
+    from repro.api import AttackConfig, app, attack, default_config, simulate, train
 
     config = default_config()
+    chase = app("chase")
     cfg = AttackConfig(recognize_device=False)
-    store = train([(config, CHASE)], config=cfg)
-    trace = simulate(config, CHASE, "hunter2secret", seed=1)
+    store = train([(config, chase)], config=cfg)
+    trace = simulate(config, chase, "hunter2secret", seed=1)
     result = attack(store, trace, config=cfg)
     print(result.text)
+
+Keyboards, apps, phones and full attack scenarios are addressed by name
+through registries (see :mod:`repro.scenarios` and docs/scenarios.md)::
+
+    from repro.api import AttackConfig, scenario, scenario_names
+
+    print(scenario_names())  # 'gboard-chase', 'pinpad', ...
+    cfg = AttackConfig(scenario="pinpad")
+
+The legacy spec constants (``CHASE``, ``SWIFTKEY``, …) remain importable
+from here as deprecated aliases of the registry entries.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured comparison of every table and figure.
 """
 
 from repro.android.apps import (
-    AMEX,
-    CHASE,
-    CHASE_WEB,
-    EXPERIAN,
-    EXPERIAN_WEB,
-    FIDELITY,
-    MYFICO,
-    NATIVE_APPS,
-    PNC,
-    SCHWAB,
-    SCHWAB_WEB,
     TARGET_APPS,
     AppSpec,
     app,
@@ -82,9 +83,58 @@ from repro.gpu.adreno import ADRENO_MODELS, AdrenoSpec, adreno
 from repro.gpu.counters import SELECTED_COUNTERS, CounterGroup, CounterSpec
 from repro.kgsl.device_file import KGSL_DEVICE_PATH, KgslDeviceFile, open_kgsl
 from repro.kgsl.sampler import PerfCounterSampler, SystemLoad
+from repro.registry import Registry, UnknownNameError
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
 from repro.workloads.typing_model import TypingModel, VOLUNTEERS
 
 __version__ = "1.0.0"
+
+#: Deprecated top-level spec constants → the android module that still
+#: serves them (lazily, through its own ``__getattr__`` choke point).
+_DEPRECATED_FORWARDS = {
+    name: "repro.android.apps"
+    for name in (
+        "AMEX",
+        "CHASE",
+        "CHASE_WEB",
+        "EXPERIAN",
+        "EXPERIAN_WEB",
+        "FIDELITY",
+        "MYFICO",
+        "NATIVE_APPS",
+        "PNC",
+        "SCHWAB",
+        "SCHWAB_WEB",
+    )
+}
+_DEPRECATED_FORWARDS.update(
+    {
+        name: "repro.android.keyboard"
+        for name in (
+            "GBOARD",
+            "SWIFTKEY",
+            "SOGOU",
+            "GOOGLE_PINYIN",
+            "GO_KEYBOARD",
+            "GRAMMARLY",
+        )
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_FORWARDS:
+        import importlib
+
+        module = importlib.import_module(_DEPRECATED_FORWARDS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "AMEX",
@@ -126,9 +176,11 @@ __all__ = [
     "PNC",
     "PerfCounterSampler",
     "PhoneModel",
+    "Registry",
     "Resolution",
     "RuntimeEvent",
     "RuntimeTrace",
+    "SCENARIO_REGISTRY",
     "SCHWAB",
     "SCHWAB_WEB",
     "SELECTED_COUNTERS",
@@ -137,10 +189,12 @@ __all__ = [
     "SessionResult",
     "SessionRuntime",
     "SessionTrace",
+    "Scenario",
     "SystemLoad",
     "TARGET_APPS",
     "TypingModel",
     "TypistIdentifier",
+    "UnknownNameError",
     "VOLUNTEERS",
     "VictimDevice",
     "VirtualClock",
@@ -154,8 +208,11 @@ __all__ = [
     "load_session",
     "open_kgsl",
     "phone",
+    "register_scenario",
     "run_sessions",
     "save_session",
+    "scenario",
+    "scenario_names",
     "ServiceReport",
     "simulate_credential_entry",
     "timing_features",

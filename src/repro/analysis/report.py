@@ -22,7 +22,7 @@ from repro.analysis.experiments import (
     run_per_key_sweep,
 )
 from repro.analysis.stats import accuracy_interval
-from repro.android.apps import CHASE
+from repro.android.apps import app
 from repro.android.os_config import DeviceConfig, default_config
 from repro.baselines.knn import KNearestNeighbors
 from repro.baselines.naive_bayes import GaussianNaiveBayes
@@ -38,7 +38,7 @@ def _fig17(config: DeviceConfig, scale: int) -> str:
     all_exact = all_total = 0
     for length in range(8, 17):
         batch = run_credential_batch(
-            config, CHASE, n_texts=4 * scale, length=length, seed=1700 + length
+            config, app("chase"), n_texts=4 * scale, length=length, seed=1700 + length
         )
         rows[str(length)] = batch.text_accuracy
         key_rows[str(length)] = batch.key_accuracy
@@ -54,7 +54,7 @@ def _fig17(config: DeviceConfig, scale: int) -> str:
 
 
 def _fig18(config: DeviceConfig, scale: int) -> str:
-    stats = run_per_key_sweep(config, CHASE, repeats=3 * scale)
+    stats = run_per_key_sweep(config, app("chase"), repeats=3 * scale)
     accuracy = {c: correct / total for c, (correct, total) in stats.items() if total}
     worst = dict(sorted(accuracy.items(), key=lambda kv: kv[1])[:15])
     overall = sum(c for c, _ in stats.values()) / max(1, sum(t for _, t in stats.values()))
@@ -118,7 +118,7 @@ def generate_report(output_dir: Union[str, Path], scale: int = 1) -> Dict[str, P
     out = Path(output_dir)
     out.mkdir(parents=True, exist_ok=True)
     config = default_config()
-    model = cached_model(config, CHASE)
+    model = cached_model(config, app("chase"))
 
     figures = {
         "fig17_accuracy.txt": _fig17(config, scale),
@@ -134,7 +134,7 @@ def generate_report(output_dir: Union[str, Path], scale: int = 1) -> Dict[str, P
 
     summary = (
         "# Evaluation report\n\n"
-        f"configuration: {config.config_key()} / {CHASE.name}\n\n"
+        f"configuration: {config.config_key()} / {app('chase').name}\n\n"
         f"model: {len(model.key_labels)} key classes, cth={model.cth:.3f}, "
         f"{model.size_bytes() / 1024:.1f} KB\n\n"
         "Figures:\n"

@@ -6,6 +6,14 @@ matters to the side channel is only the login screen's *geometry*: where
 the input field sits, how much decorative chrome the screen draws, and
 whether anything animates while the user types (animation is the
 obfuscation defence of Section 9.3, exemplified by the PNC app).
+
+Like :mod:`repro.android.keyboard`, this module is a registry *producer*:
+the paper's apps are registered into :data:`APP_REGISTRY` at import time
+and :func:`app` resolves names through it, so new targets registered via
+:func:`register_app` (from any module) become addressable by the CLI and
+the scenario registry.  The legacy constants (``CHASE`` …) remain
+importable as deprecated aliases; :data:`TARGET_APPS` / :data:`NATIVE_APPS`
+stay snapshots of the paper's evaluation set.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.android.display import Display
 from repro.android.geometry import Rect
+from repro.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -75,129 +84,201 @@ class AppSpec:
         return Rect(left, top, right, top + height)
 
 
-CHASE = AppSpec(
-    name="chase",
-    display_name="Chase",
-    category="banking",
-    decor_widgets=7,
-    decor_area_fraction=0.30,
-    field_top_fraction=0.330,
-)
+#: The app registry: the source of truth for name → spec lookup.
+APP_REGISTRY: Registry[AppSpec] = Registry("app")
 
-AMEX = AppSpec(
-    name="amex",
-    display_name="Amex",
-    category="banking",
-    decor_widgets=6,
-    decor_area_fraction=0.26,
-    field_top_fraction=0.305,
-)
 
-FIDELITY = AppSpec(
-    name="fidelity",
-    display_name="Fidelity",
-    category="investment",
-    decor_widgets=8,
-    decor_area_fraction=0.33,
-    field_top_fraction=0.355,
-)
+def register_app(
+    spec: AppSpec, tags: Tuple[str, ...] = (), replace: bool = False
+) -> AppSpec:
+    """Register a target app so :func:`app` (and the CLI, the scenario
+    registry, …) can resolve it by name."""
+    return APP_REGISTRY.register(spec, tags=tags, replace=replace)
 
-SCHWAB = AppSpec(
-    name="schwab",
-    display_name="Schwab",
-    category="investment",
-    decor_widgets=5,
-    decor_area_fraction=0.24,
-    field_top_fraction=0.290,
-)
 
-MYFICO = AppSpec(
-    name="myfico",
-    display_name="myFICO",
-    category="credit",
-    decor_widgets=6,
-    decor_area_fraction=0.28,
-    field_top_fraction=0.340,
-)
-
-EXPERIAN = AppSpec(
-    name="experian",
-    display_name="Experian",
-    category="credit",
-    decor_widgets=7,
-    decor_area_fraction=0.31,
-    field_top_fraction=0.320,
-)
-
-CHASE_WEB = AppSpec(
-    name="chase.com",
-    display_name="chase.com",
-    category="web",
-    decor_widgets=10,
-    decor_area_fraction=0.38,
-    field_top_fraction=0.390,
-    is_web=True,
-)
-
-SCHWAB_WEB = AppSpec(
-    name="schwab.com",
-    display_name="schwab.com",
-    category="web",
-    decor_widgets=9,
-    decor_area_fraction=0.35,
-    field_top_fraction=0.370,
-    is_web=True,
-)
-
-EXPERIAN_WEB = AppSpec(
-    name="experian.com",
-    display_name="experian.com",
-    category="web",
-    decor_widgets=11,
-    decor_area_fraction=0.40,
-    field_top_fraction=0.405,
-    is_web=True,
-)
-
-#: PNC's login page animation, the natural obfuscation of Section 9.3.
-PNC = AppSpec(
-    name="pnc",
-    display_name="PNC Mobile",
-    category="banking",
-    decor_widgets=8,
-    decor_area_fraction=0.34,
-    field_top_fraction=0.345,
-    animation=AnimationSpec(
-        area_fraction=0.22,
-        frame_interval_s=1.0 / 30.0,
-        primitives=46,
-        intensity=0.6,
+_CHASE = register_app(
+    AppSpec(
+        name="chase",
+        display_name="Chase",
+        category="banking",
+        decor_widgets=7,
+        decor_area_fraction=0.30,
+        field_top_fraction=0.330,
     ),
+    tags=("paper", "native"),
+)
+
+_AMEX = register_app(
+    AppSpec(
+        name="amex",
+        display_name="Amex",
+        category="banking",
+        decor_widgets=6,
+        decor_area_fraction=0.26,
+        field_top_fraction=0.305,
+    ),
+    tags=("paper", "native"),
+)
+
+_FIDELITY = register_app(
+    AppSpec(
+        name="fidelity",
+        display_name="Fidelity",
+        category="investment",
+        decor_widgets=8,
+        decor_area_fraction=0.33,
+        field_top_fraction=0.355,
+    ),
+    tags=("paper", "native"),
+)
+
+_SCHWAB = register_app(
+    AppSpec(
+        name="schwab",
+        display_name="Schwab",
+        category="investment",
+        decor_widgets=5,
+        decor_area_fraction=0.24,
+        field_top_fraction=0.290,
+    ),
+    tags=("paper", "native"),
+)
+
+_MYFICO = register_app(
+    AppSpec(
+        name="myfico",
+        display_name="myFICO",
+        category="credit",
+        decor_widgets=6,
+        decor_area_fraction=0.28,
+        field_top_fraction=0.340,
+    ),
+    tags=("paper", "native"),
+)
+
+_EXPERIAN = register_app(
+    AppSpec(
+        name="experian",
+        display_name="Experian",
+        category="credit",
+        decor_widgets=7,
+        decor_area_fraction=0.31,
+        field_top_fraction=0.320,
+    ),
+    tags=("paper", "native"),
+)
+
+_CHASE_WEB = register_app(
+    AppSpec(
+        name="chase.com",
+        display_name="chase.com",
+        category="web",
+        decor_widgets=10,
+        decor_area_fraction=0.38,
+        field_top_fraction=0.390,
+        is_web=True,
+    ),
+    tags=("paper", "web"),
+)
+
+_SCHWAB_WEB = register_app(
+    AppSpec(
+        name="schwab.com",
+        display_name="schwab.com",
+        category="web",
+        decor_widgets=9,
+        decor_area_fraction=0.35,
+        field_top_fraction=0.370,
+        is_web=True,
+    ),
+    tags=("paper", "web"),
+)
+
+_EXPERIAN_WEB = register_app(
+    AppSpec(
+        name="experian.com",
+        display_name="experian.com",
+        category="web",
+        decor_widgets=11,
+        decor_area_fraction=0.40,
+        field_top_fraction=0.405,
+        is_web=True,
+    ),
+    tags=("paper", "web"),
+)
+
+# PNC's login page animation, the natural obfuscation of Section 9.3.
+_PNC = register_app(
+    AppSpec(
+        name="pnc",
+        display_name="PNC Mobile",
+        category="banking",
+        decor_widgets=8,
+        decor_area_fraction=0.34,
+        field_top_fraction=0.345,
+        animation=AnimationSpec(
+            area_fraction=0.22,
+            frame_interval_s=1.0 / 30.0,
+            primitives=46,
+            intensity=0.6,
+        ),
+    ),
+    tags=("paper", "animated"),
 )
 
 #: Apps of the paper's Fig 19 in display order, plus PNC for Section 9.3.
+#: A historical snapshot: lookups go through :data:`APP_REGISTRY`.
 TARGET_APPS: Dict[str, AppSpec] = {
     app.name: app
     for app in (
-        CHASE,
-        AMEX,
-        FIDELITY,
-        SCHWAB,
-        MYFICO,
-        EXPERIAN,
-        CHASE_WEB,
-        SCHWAB_WEB,
-        EXPERIAN_WEB,
-        PNC,
+        _CHASE,
+        _AMEX,
+        _FIDELITY,
+        _SCHWAB,
+        _MYFICO,
+        _EXPERIAN,
+        _CHASE_WEB,
+        _SCHWAB_WEB,
+        _EXPERIAN_WEB,
+        _PNC,
     )
 }
 
-#: The six native apps used for the accuracy experiments.
-NATIVE_APPS: Tuple[AppSpec, ...] = (CHASE, AMEX, FIDELITY, SCHWAB, MYFICO, EXPERIAN)
+#: Deprecated module-level aliases → registry names (see ``__getattr__``).
+_DEPRECATED_SPECS: Dict[str, str] = {
+    "CHASE": "chase",
+    "AMEX": "amex",
+    "FIDELITY": "fidelity",
+    "SCHWAB": "schwab",
+    "MYFICO": "myfico",
+    "EXPERIAN": "experian",
+    "CHASE_WEB": "chase.com",
+    "SCHWAB_WEB": "schwab.com",
+    "EXPERIAN_WEB": "experian.com",
+    "PNC": "pnc",
+}
+
+
+def __getattr__(name: str):
+    from repro.core.results import warn_deprecated
+
+    if name in _DEPRECATED_SPECS:
+        key = _DEPRECATED_SPECS[name]
+        warn_deprecated(f"repro.android.apps.{name}", f'app("{key}")')
+        return APP_REGISTRY.get(key)
+    if name == "NATIVE_APPS":
+        warn_deprecated(
+            "repro.android.apps.NATIVE_APPS", 'APP_REGISTRY.tagged("native")'
+        )
+        return APP_REGISTRY.tagged("native")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def app(name: str) -> AppSpec:
-    try:
-        return TARGET_APPS[name]
-    except KeyError:
-        raise KeyError(f"unknown app {name!r}; known: {sorted(TARGET_APPS)}") from None
+    """Resolve a target app by registry name.
+
+    Raises:
+        repro.registry.UnknownNameError: (a ``KeyError``) for unknown
+            names, with the known set and a closest-match suggestion.
+    """
+    return APP_REGISTRY.get(name)

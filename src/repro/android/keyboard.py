@@ -15,6 +15,23 @@ size and popup animation behaviour — the animation is what causes
 *duplication* readings on Gboard (Section 5.1: "due to the rich animation
 of popups on some keyboards ... one key press may result in two
 consecutive PC value changes with the same amount").
+
+This module is a *producer* for the keyboard registry: the specs above
+are registered into :data:`KEYBOARD_REGISTRY` at import time, and any
+code — including code outside this package, like the PIN-pad keyboard in
+:mod:`repro.scenarios.pinpad` — can register further keyboards through
+:func:`register_keyboard`.  :func:`keyboard` resolves names through the
+registry, so a registered keyboard is addressable everywhere a built-in
+one is.  The legacy module-level spec constants (``GBOARD`` …) remain
+importable as deprecated aliases; :data:`KEYBOARDS` stays a snapshot of
+the paper's Fig 20 set and is no longer the source of truth.
+
+Two key arrangements (``KeyboardSpec.layout``) are supported:
+
+* ``"qwerty"`` — number row + three letter rows + bottom row, with
+  upper/symbol pages reached via shift / ?123;
+* ``"pinpad"`` — a 3-wide numeric grid (1-9 plus 0), digit-only, as on
+  banking PIN entry screens.
 """
 
 from __future__ import annotations
@@ -24,6 +41,7 @@ from typing import Dict, List, Tuple
 
 from repro.android.display import Display
 from repro.android.geometry import Rect
+from repro.registry import Registry
 
 #: qwerty letter rows (lowercase page; uppercase shares positions via shift).
 _LETTER_ROWS: Tuple[str, ...] = ("qwertyuiop", "asdfghjkl", "zxcvbnm")
@@ -34,6 +52,22 @@ _SYMBOL_ROWS: Tuple[str, ...] = ("+()/*\"'#$&", "-@!?:;,.", "")
 
 #: Characters that live on the primary page next to the spacebar.
 _BOTTOM_ROW_CHARS: str = ",."
+
+#: Per-page label strings drawn by the scene builder.  Order matters:
+#: the keyboard layer iterates these strings, so changing an order here
+#: changes draw-op order and breaks golden-trace byte parity.
+_QWERTY_PAGE_LABELS: Dict[str, str] = {
+    "lower": "qwertyuiopasdfghjklzxcvbnm1234567890,.",
+    "upper": "QWERTYUIOPASDFGHJKLZXCVBNM1234567890,.",
+    "symbol": "1234567890+()/*\"'#$&-@!?:;,.",
+}
+
+#: PIN-pad rows: a phone-style numeric grid.
+_PINPAD_ROWS: Tuple[str, ...] = ("123", "456", "789", "0")
+_PINPAD_CHARS: str = "1234567890"
+
+#: Supported values of :attr:`KeyboardSpec.layout`.
+LAYOUT_KINDS: Tuple[str, ...] = ("qwerty", "pinpad")
 
 
 @dataclass(frozen=True)
@@ -63,6 +97,8 @@ class KeyboardSpec:
         duplicate_popup_prob: probability the popup animation emits a
             second identical frame (the *duplication* factor, Section 5.1).
         popup_shadow: whether the popup draws a translucent drop shadow.
+        supports_popup: whether key presses draw popups at all.
+        layout: key arrangement — ``"qwerty"`` or ``"pinpad"``.
     """
 
     name: str
@@ -76,98 +112,162 @@ class KeyboardSpec:
     duplicate_popup_prob: float
     popup_shadow: bool
     supports_popup: bool = True
+    layout: str = "qwerty"
+
+    def __post_init__(self) -> None:
+        if self.layout not in LAYOUT_KINDS:
+            raise ValueError(
+                f"unknown keyboard layout {self.layout!r}; known: {list(LAYOUT_KINDS)}"
+            )
 
 
-GBOARD = KeyboardSpec(
-    name="gboard",
-    display_name="Google Keyboard",
-    height_fraction=0.285,
-    key_gap_fraction=0.12,
-    popup_scale=1.55,
-    popup_rise_fraction=1.15,
-    popup_font_fraction=0.58,
-    label_font_fraction=0.42,
-    duplicate_popup_prob=0.182,
-    popup_shadow=True,
+#: The keyboard registry: the source of truth for name → spec lookup.
+KEYBOARD_REGISTRY: Registry[KeyboardSpec] = Registry("keyboard")
+
+
+def register_keyboard(
+    spec: KeyboardSpec, tags: Tuple[str, ...] = (), replace: bool = False
+) -> KeyboardSpec:
+    """Register a keyboard spec so :func:`keyboard` (and the CLI, the
+    scenario registry, …) can resolve it by name."""
+    return KEYBOARD_REGISTRY.register(spec, tags=tags, replace=replace)
+
+
+_GBOARD = register_keyboard(
+    KeyboardSpec(
+        name="gboard",
+        display_name="Google Keyboard",
+        height_fraction=0.285,
+        key_gap_fraction=0.12,
+        popup_scale=1.55,
+        popup_rise_fraction=1.15,
+        popup_font_fraction=0.58,
+        label_font_fraction=0.42,
+        duplicate_popup_prob=0.182,
+        popup_shadow=True,
+    ),
+    tags=("paper", "fig20"),
 )
 
-SWIFTKEY = KeyboardSpec(
-    name="swift",
-    display_name="Microsoft SwiftKey",
-    height_fraction=0.270,
-    key_gap_fraction=0.08,
-    popup_scale=1.45,
-    popup_rise_fraction=1.05,
-    popup_font_fraction=0.55,
-    label_font_fraction=0.40,
-    duplicate_popup_prob=0.110,
-    popup_shadow=True,
+_SWIFTKEY = register_keyboard(
+    KeyboardSpec(
+        name="swift",
+        display_name="Microsoft SwiftKey",
+        height_fraction=0.270,
+        key_gap_fraction=0.08,
+        popup_scale=1.45,
+        popup_rise_fraction=1.05,
+        popup_font_fraction=0.55,
+        label_font_fraction=0.40,
+        duplicate_popup_prob=0.110,
+        popup_shadow=True,
+    ),
+    tags=("paper", "fig20"),
 )
 
-SOGOU = KeyboardSpec(
-    name="sogou",
-    display_name="Sogou Keyboard",
-    height_fraction=0.300,
-    key_gap_fraction=0.10,
-    popup_scale=1.60,
-    popup_rise_fraction=1.20,
-    popup_font_fraction=0.60,
-    label_font_fraction=0.44,
-    duplicate_popup_prob=0.140,
-    popup_shadow=False,
+_SOGOU = register_keyboard(
+    KeyboardSpec(
+        name="sogou",
+        display_name="Sogou Keyboard",
+        height_fraction=0.300,
+        key_gap_fraction=0.10,
+        popup_scale=1.60,
+        popup_rise_fraction=1.20,
+        popup_font_fraction=0.60,
+        label_font_fraction=0.44,
+        duplicate_popup_prob=0.140,
+        popup_shadow=False,
+    ),
+    tags=("paper", "fig20"),
 )
 
-GOOGLE_PINYIN = KeyboardSpec(
-    name="pinyin",
-    display_name="Google Pinyin Keyboard",
-    height_fraction=0.290,
-    key_gap_fraction=0.11,
-    popup_scale=1.50,
-    popup_rise_fraction=1.10,
-    popup_font_fraction=0.57,
-    label_font_fraction=0.42,
-    duplicate_popup_prob=0.160,
-    popup_shadow=True,
+_GOOGLE_PINYIN = register_keyboard(
+    KeyboardSpec(
+        name="pinyin",
+        display_name="Google Pinyin Keyboard",
+        height_fraction=0.290,
+        key_gap_fraction=0.11,
+        popup_scale=1.50,
+        popup_rise_fraction=1.10,
+        popup_font_fraction=0.57,
+        label_font_fraction=0.42,
+        duplicate_popup_prob=0.160,
+        popup_shadow=True,
+    ),
+    tags=("paper", "fig20"),
 )
 
-GO_KEYBOARD = KeyboardSpec(
-    name="go",
-    display_name="Go Keyboard",
-    height_fraction=0.280,
-    key_gap_fraction=0.09,
-    popup_scale=1.40,
-    popup_rise_fraction=1.00,
-    popup_font_fraction=0.52,
-    label_font_fraction=0.38,
-    duplicate_popup_prob=0.125,
-    popup_shadow=False,
+_GO_KEYBOARD = register_keyboard(
+    KeyboardSpec(
+        name="go",
+        display_name="Go Keyboard",
+        height_fraction=0.280,
+        key_gap_fraction=0.09,
+        popup_scale=1.40,
+        popup_rise_fraction=1.00,
+        popup_font_fraction=0.52,
+        label_font_fraction=0.38,
+        duplicate_popup_prob=0.125,
+        popup_shadow=False,
+    ),
+    tags=("paper", "fig20"),
 )
 
-GRAMMARLY = KeyboardSpec(
-    name="grammarly",
-    display_name="Grammarly Keyboard",
-    height_fraction=0.275,
-    key_gap_fraction=0.10,
-    popup_scale=1.48,
-    popup_rise_fraction=1.08,
-    popup_font_fraction=0.55,
-    label_font_fraction=0.41,
-    duplicate_popup_prob=0.150,
-    popup_shadow=True,
+_GRAMMARLY = register_keyboard(
+    KeyboardSpec(
+        name="grammarly",
+        display_name="Grammarly Keyboard",
+        height_fraction=0.275,
+        key_gap_fraction=0.10,
+        popup_scale=1.48,
+        popup_rise_fraction=1.08,
+        popup_font_fraction=0.55,
+        label_font_fraction=0.41,
+        duplicate_popup_prob=0.150,
+        popup_shadow=True,
+    ),
+    tags=("paper", "fig20"),
 )
 
-#: Keyboards evaluated in Fig 20, keyed by short name.
+#: The paper's Fig 20 evaluation set, keyed by short name.  A historical
+#: snapshot: lookups go through :data:`KEYBOARD_REGISTRY`, which may hold
+#: more keyboards than these six (e.g. the PIN pad).
 KEYBOARDS: Dict[str, KeyboardSpec] = {
     spec.name: spec
-    for spec in (SWIFTKEY, GBOARD, SOGOU, GOOGLE_PINYIN, GO_KEYBOARD, GRAMMARLY)
+    for spec in (_SWIFTKEY, _GBOARD, _SOGOU, _GOOGLE_PINYIN, _GO_KEYBOARD, _GRAMMARLY)
+}
+
+#: Deprecated module-level aliases → registry names (see ``__getattr__``).
+_DEPRECATED_SPECS: Dict[str, str] = {
+    "GBOARD": "gboard",
+    "SWIFTKEY": "swift",
+    "SOGOU": "sogou",
+    "GOOGLE_PINYIN": "pinyin",
+    "GO_KEYBOARD": "go",
+    "GRAMMARLY": "grammarly",
 }
 
 
+def __getattr__(name: str) -> KeyboardSpec:
+    if name in _DEPRECATED_SPECS:
+        from repro.core.results import warn_deprecated
+
+        key = _DEPRECATED_SPECS[name]
+        warn_deprecated(
+            f"repro.android.keyboard.{name}", f'keyboard("{key}")'
+        )
+        return KEYBOARD_REGISTRY.get(key)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def keyboard(name: str) -> KeyboardSpec:
-    try:
-        return KEYBOARDS[name]
-    except KeyError:
-        raise KeyError(f"unknown keyboard {name!r}; known: {sorted(KEYBOARDS)}") from None
+    """Resolve a keyboard by registry name.
+
+    Raises:
+        repro.registry.UnknownNameError: (a ``KeyError``) for unknown
+            names, with the known set and a closest-match suggestion.
+    """
+    return KEYBOARD_REGISTRY.get(name)
 
 
 class KeyboardLayout:
@@ -180,10 +280,18 @@ class KeyboardLayout:
         self.height_px = int(screen.height * spec.height_fraction)
         self.top_px = screen.height - self.height_px
         self.width_px = screen.width
-        # number row + 3 letter rows + bottom row
-        self.rows = 5
+        if spec.layout == "pinpad":
+            # digit grid rows (no number/letter split)
+            self.rows = len(_PINPAD_ROWS)
+        else:
+            # number row + 3 letter rows + bottom row
+            self.rows = 5
         self.row_height = self.height_px // self.rows
-        self._geometry = self._build_geometry()
+        self._geometry = (
+            self._build_pinpad_geometry()
+            if spec.layout == "pinpad"
+            else self._build_geometry()
+        )
 
     @property
     def bounds(self) -> Rect:
@@ -247,6 +355,28 @@ class KeyboardLayout:
                 place(char, row_index + 1, col, max(len(row_chars), 8), "symbol")
         return geometry
 
+    def _build_pinpad_geometry(self) -> Dict[str, KeyGeometry]:
+        """The 3-wide digit grid: 1-9 over three rows, 0 bottom-center."""
+        geometry: Dict[str, KeyGeometry] = {}
+        for row_index, row_chars in enumerate(_PINPAD_ROWS):
+            for col, char in enumerate(row_chars):
+                grid_col = 1 if row_chars == "0" else col  # 0 sits center
+                key = self._key_rect(row_index, grid_col, 3)
+                geometry[char] = KeyGeometry(
+                    char=char,
+                    key_rect=key,
+                    popup_rect=self._popup_rect(key),
+                    page="lower",
+                )
+        return geometry
+
+    def page_labels(self, page: str) -> str:
+        """The key-cap labels the scene builder draws for one page, in
+        draw order (the order is part of the golden-trace contract)."""
+        if self.spec.layout == "pinpad":
+            return _PINPAD_CHARS
+        return _QWERTY_PAGE_LABELS[page]
+
     def key(self, char: str) -> KeyGeometry:
         """Geometry of the key producing ``char``.
 
@@ -273,8 +403,11 @@ class KeyboardLayout:
         ]
 
     def backspace_rect(self) -> Rect:
-        """The backspace key (right end of the bottom letter row); pressing
-        it shows no popup on any modeled keyboard (Section 5.3)."""
+        """The backspace key; pressing it shows no popup on any modeled
+        keyboard (Section 5.3).  On qwerty it ends the bottom letter row;
+        on the PIN pad it takes the bottom-right grid cell."""
+        if self.spec.layout == "pinpad":
+            return self._key_rect(len(_PINPAD_ROWS) - 1, 2, 3)
         row = 3
         row_len = len(_LETTER_ROWS[2]) + 2
         return self._key_rect(row, row_len - 1, row_len)

@@ -19,8 +19,10 @@ from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 from repro.android.display import Display, Resolution
-from repro.android.keyboard import GBOARD, KeyboardSpec
+from repro.android.keyboard import KeyboardSpec
+from repro.android.keyboard import keyboard as _keyboard_lookup
 from repro.gpu.adreno import AdrenoSpec, adreno
+from repro.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -67,82 +69,143 @@ class PhoneModel:
         return self.battery_mah * 3.85
 
 
-LG_V30 = PhoneModel(
-    name="lg_v30",
-    display_name="LG V30+",
-    gpu=adreno(540),
-    android=ANDROID_9,
-    resolution=Resolution.QHD_PLUS,
-    vendor_ui_scale=0.99,
-    battery_mah=3300,
+#: The phone registry: the source of truth for name → model lookup.
+PHONE_REGISTRY: Registry[PhoneModel] = Registry("phone")
+
+
+def register_phone(
+    spec: PhoneModel, tags: Tuple[str, ...] = (), replace: bool = False
+) -> PhoneModel:
+    """Register a phone model so :func:`phone` (and the CLI, the scenario
+    registry, …) can resolve it by name."""
+    return PHONE_REGISTRY.register(spec, tags=tags, replace=replace)
+
+
+_LG_V30 = register_phone(
+    PhoneModel(
+        name="lg_v30",
+        display_name="LG V30+",
+        gpu=adreno(540),
+        android=ANDROID_9,
+        resolution=Resolution.QHD_PLUS,
+        vendor_ui_scale=0.99,
+        battery_mah=3300,
+    ),
+    tags=("paper",),
 )
 
-PIXEL_2 = PhoneModel(
-    name="pixel2",
-    display_name="Google Pixel 2",
-    gpu=adreno(540),
-    android=ANDROID_10,
-    resolution=Resolution.FHD_PLUS,
-    vendor_ui_scale=1.00,
-    battery_mah=2700,
+_PIXEL_2 = register_phone(
+    PhoneModel(
+        name="pixel2",
+        display_name="Google Pixel 2",
+        gpu=adreno(540),
+        android=ANDROID_10,
+        resolution=Resolution.FHD_PLUS,
+        vendor_ui_scale=1.00,
+        battery_mah=2700,
+    ),
+    tags=("paper",),
 )
 
-ONEPLUS_7_PRO = PhoneModel(
-    name="oneplus7pro",
-    display_name="Oneplus 7 Pro",
-    gpu=adreno(640),
-    android=ANDROID_11,
-    resolution=Resolution.QHD_PLUS,
-    refresh_rates=(60, 90),
-    vendor_ui_scale=1.01,
-    battery_mah=4000,
+_ONEPLUS_7_PRO = register_phone(
+    PhoneModel(
+        name="oneplus7pro",
+        display_name="Oneplus 7 Pro",
+        gpu=adreno(640),
+        android=ANDROID_11,
+        resolution=Resolution.QHD_PLUS,
+        refresh_rates=(60, 90),
+        vendor_ui_scale=1.01,
+        battery_mah=4000,
+    ),
+    tags=("paper",),
 )
 
-ONEPLUS_8_PRO = PhoneModel(
-    name="oneplus8pro",
-    display_name="Oneplus 8 Pro",
-    gpu=adreno(650),
-    android=ANDROID_11,
-    resolution=Resolution.FHD_PLUS,
-    refresh_rates=(60, 120),
-    vendor_ui_scale=1.01,
-    battery_mah=4510,
+_ONEPLUS_8_PRO = register_phone(
+    PhoneModel(
+        name="oneplus8pro",
+        display_name="Oneplus 8 Pro",
+        gpu=adreno(650),
+        android=ANDROID_11,
+        resolution=Resolution.FHD_PLUS,
+        refresh_rates=(60, 120),
+        vendor_ui_scale=1.01,
+        battery_mah=4510,
+    ),
+    tags=("paper",),
 )
 
-ONEPLUS_9 = PhoneModel(
-    name="oneplus9",
-    display_name="Oneplus 9",
-    gpu=adreno(660),
-    android=ANDROID_11,
-    resolution=Resolution.FHD_PLUS,
-    refresh_rates=(60, 120),
-    vendor_ui_scale=1.01,
-    battery_mah=4500,
+_ONEPLUS_9 = register_phone(
+    PhoneModel(
+        name="oneplus9",
+        display_name="Oneplus 9",
+        gpu=adreno(660),
+        android=ANDROID_11,
+        resolution=Resolution.FHD_PLUS,
+        refresh_rates=(60, 120),
+        vendor_ui_scale=1.01,
+        battery_mah=4500,
+    ),
+    tags=("paper",),
 )
 
-GALAXY_S21 = PhoneModel(
-    name="galaxy_s21",
-    display_name="Samsung Galaxy S21",
-    gpu=adreno(660),
-    android=ANDROID_11,
-    resolution=Resolution.FHD_PLUS,
-    refresh_rates=(60, 120),
-    vendor_ui_scale=1.02,
-    battery_mah=4000,
+_GALAXY_S21 = register_phone(
+    PhoneModel(
+        name="galaxy_s21",
+        display_name="Samsung Galaxy S21",
+        gpu=adreno(660),
+        android=ANDROID_11,
+        resolution=Resolution.FHD_PLUS,
+        refresh_rates=(60, 120),
+        vendor_ui_scale=1.02,
+        battery_mah=4000,
+    ),
+    tags=("paper",),
 )
 
-#: Phones of the paper's Section 7.5 experiments.
+#: Phones of the paper's Section 7.5 experiments.  A historical snapshot:
+#: lookups go through :data:`PHONE_REGISTRY`.
 PHONE_MODELS: Dict[str, PhoneModel] = {
     phone.name: phone
-    for phone in (LG_V30, PIXEL_2, ONEPLUS_7_PRO, ONEPLUS_8_PRO, ONEPLUS_9, GALAXY_S21)
+    for phone in (
+        _LG_V30,
+        _PIXEL_2,
+        _ONEPLUS_7_PRO,
+        _ONEPLUS_8_PRO,
+        _ONEPLUS_9,
+        _GALAXY_S21,
+    )
+}
+
+#: Deprecated module-level aliases → registry names (see ``__getattr__``).
+_DEPRECATED_SPECS: Dict[str, str] = {
+    "LG_V30": "lg_v30",
+    "PIXEL_2": "pixel2",
+    "ONEPLUS_7_PRO": "oneplus7pro",
+    "ONEPLUS_8_PRO": "oneplus8pro",
+    "ONEPLUS_9": "oneplus9",
+    "GALAXY_S21": "galaxy_s21",
 }
 
 
+def __getattr__(name: str) -> PhoneModel:
+    if name in _DEPRECATED_SPECS:
+        from repro.core.results import warn_deprecated
+
+        key = _DEPRECATED_SPECS[name]
+        warn_deprecated(f"repro.android.os_config.{name}", f'phone("{key}")')
+        return PHONE_REGISTRY.get(key)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def phone(name: str) -> PhoneModel:
-    try:
-        return PHONE_MODELS[name]
-    except KeyError:
-        raise KeyError(f"unknown phone {name!r}; known: {sorted(PHONE_MODELS)}") from None
+    """Resolve a phone model by registry name.
+
+    Raises:
+        repro.registry.UnknownNameError: (a ``KeyError``) for unknown
+            names, with the known set and a closest-match suggestion.
+    """
+    return PHONE_REGISTRY.get(name)
 
 
 @dataclass(frozen=True)
@@ -155,7 +218,7 @@ class DeviceConfig:
     """
 
     phone: PhoneModel
-    keyboard: KeyboardSpec = GBOARD
+    keyboard: KeyboardSpec = _keyboard_lookup("gboard")
     resolution: Resolution = None  # type: ignore[assignment]
     refresh_rate_hz: int = 0
     android: AndroidVersion = None  # type: ignore[assignment]
@@ -201,4 +264,4 @@ class DeviceConfig:
 
 def default_config(**overrides) -> DeviceConfig:
     """The paper's workhorse setup: Oneplus 8 Pro + Gboard + FHD+ @60 Hz."""
-    return replace(DeviceConfig(phone=ONEPLUS_8_PRO), **overrides) if overrides else DeviceConfig(phone=ONEPLUS_8_PRO)
+    return replace(DeviceConfig(phone=_ONEPLUS_8_PRO), **overrides) if overrides else DeviceConfig(phone=_ONEPLUS_8_PRO)

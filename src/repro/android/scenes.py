@@ -184,17 +184,13 @@ class SceneBuilder:
             return "symbol"
         return "lower"
 
-    _PAGE_LABELS = {
-        "lower": "qwertyuiopasdfghjklzxcvbnm1234567890,.",
-        "upper": "QWERTYUIOPASDFGHJKLZXCVBNM1234567890,.",
-        "symbol": "1234567890+()/*\"'#$&-@!?:;,.",
-    }
-
     def keyboard_layer(self, state: UiState) -> Layer:
         layer = Layer(f"keyboard:{self.config.keyboard.name}")
         layer.add(solid_quad(self.layout.bounds, label="kb_bg"))
         scale = self.config.ui_scale
-        for char in self._PAGE_LABELS[self._keyboard_page(state)]:
+        # The layout owns the per-page label strings (draw order included);
+        # qwerty and pinpad layouts return different label sets here.
+        for char in self.layout.page_labels(self._keyboard_page(state)):
             geo = self.layout.key(char)
             highlighted = (
                 state.key_highlight is not None

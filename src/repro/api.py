@@ -38,31 +38,30 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro import faults
 from repro.faults import FAULT_PROFILE_ENV, FaultInjector, FaultPlan, FaultStats
 from repro.android.apps import (
-    AMEX,
-    CHASE,
-    CHASE_WEB,
-    EXPERIAN,
-    EXPERIAN_WEB,
-    FIDELITY,
-    MYFICO,
-    NATIVE_APPS,
-    PNC,
-    SCHWAB,
-    SCHWAB_WEB,
+    APP_REGISTRY,
     TARGET_APPS,
     AppSpec,
     app,
+    register_app,
 )
 from repro.android.device import SessionTrace, VictimDevice
 from repro.android.events import BackspacePress, KeyPress
-from repro.android.keyboard import KEYBOARDS, KeyboardSpec, keyboard
+from repro.android.keyboard import (
+    KEYBOARD_REGISTRY,
+    KEYBOARDS,
+    KeyboardSpec,
+    keyboard,
+    register_keyboard,
+)
 from repro.android.os_config import (
     ANDROID_VERSIONS,
     PHONE_MODELS,
+    PHONE_REGISTRY,
     DeviceConfig,
     PhoneModel,
     default_config,
     phone,
+    register_phone,
 )
 from repro.analysis.experiments import (
     cached_model,
@@ -119,8 +118,66 @@ from repro.kgsl.sampler import DEFAULT_INTERVAL_S, PerfCounterSampler, SystemLoa
 from repro.mitigations.access_control import LocalOnlyPolicy, RbacPolicy
 from repro.mitigations.obfuscation import CounterObfuscationPolicy
 from repro.mitigations.popup_disable import config_with_popups_disabled
+from repro.registry import Registry, UnknownNameError
 from repro.runtime import RuntimeEvent, RuntimeTrace
-from repro.workloads.credentials import character_group, credential_batch
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.workloads.credentials import (
+    character_group,
+    credential_batch,
+    pool_for_scenario,
+    scenario_credential,
+)
+
+#: Collision-safe alias: facade internals use this so a ``scenario=``
+#: keyword or field never shadows the lookup function.
+scenario_lookup = scenario
+
+#: Deprecated spec-constant re-exports → the module that still serves
+#: them (lazily, through its own ``__getattr__`` choke point).
+_DEPRECATED_FORWARDS = {
+    name: "repro.android.apps"
+    for name in (
+        "AMEX",
+        "CHASE",
+        "CHASE_WEB",
+        "EXPERIAN",
+        "EXPERIAN_WEB",
+        "FIDELITY",
+        "MYFICO",
+        "NATIVE_APPS",
+        "PNC",
+        "SCHWAB",
+        "SCHWAB_WEB",
+    )
+}
+_DEPRECATED_FORWARDS.update(
+    {
+        name: "repro.android.keyboard"
+        for name in (
+            "GBOARD",
+            "SWIFTKEY",
+            "SOGOU",
+            "GOOGLE_PINYIN",
+            "GO_KEYBOARD",
+            "GRAMMARLY",
+        )
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_FORWARDS:
+        import importlib
+
+        module = importlib.import_module(_DEPRECATED_FORWARDS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     # facade
@@ -160,6 +217,8 @@ __all__ = [
     # device registry
     "AppSpec",
     "app",
+    "register_app",
+    "APP_REGISTRY",
     "TARGET_APPS",
     "NATIVE_APPS",
     "AMEX",
@@ -175,12 +234,24 @@ __all__ = [
     "DeviceConfig",
     "PhoneModel",
     "phone",
+    "register_phone",
+    "PHONE_REGISTRY",
     "PHONE_MODELS",
     "ANDROID_VERSIONS",
     "KeyboardSpec",
     "keyboard",
+    "register_keyboard",
+    "KEYBOARD_REGISTRY",
     "KEYBOARDS",
     "default_config",
+    # scenarios
+    "Scenario",
+    "scenario",
+    "scenario_names",
+    "register_scenario",
+    "SCENARIO_REGISTRY",
+    "Registry",
+    "UnknownNameError",
     # victim-side simulation
     "SessionTrace",
     "VictimDevice",
@@ -236,6 +307,8 @@ __all__ = [
     # workloads / mitigations
     "credential_batch",
     "character_group",
+    "pool_for_scenario",
+    "scenario_credential",
     "RbacPolicy",
     "LocalOnlyPolicy",
     "CounterObfuscationPolicy",
@@ -277,6 +350,10 @@ class AttackConfig:
     train_seed: int = 7
     #: Fault plan: "auto" (environment), a profile name, a plan, or None.
     fault_plan: Union[FaultPlan, None, str] = "auto"
+    #: Attack scenario by registry name (or a :class:`Scenario`, stored
+    #: as its name).  Fills device config, target app, typing tier and
+    #: default fault profile wherever the facade accepts them.
+    scenario: Optional[Union[Scenario, str]] = None
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0 or self.idle_interval_s <= 0:
@@ -290,6 +367,16 @@ class AttackConfig:
                 raise ValueError(f"{name} must be in [0, 1]")
         if self.sweep_repeats < 1:
             raise ValueError("sweep_repeats must be >= 1")
+        if self.scenario is not None:
+            # normalize to the registry name; resolve now so a typo'd
+            # scenario fails at construction, not mid-attack
+            name = (
+                self.scenario.name
+                if isinstance(self.scenario, Scenario)
+                else self.scenario
+            )
+            scenario_lookup(name)
+            object.__setattr__(self, "scenario", name)
 
     @property
     def load(self) -> SystemLoad:
@@ -298,7 +385,27 @@ class AttackConfig:
             gpu_utilization=self.gpu_utilization,
         )
 
+    def resolved_scenario(self) -> Optional[Scenario]:
+        """The configured :class:`Scenario`, or ``None``."""
+        return scenario_lookup(self.scenario) if self.scenario else None
+
     def resolved_fault_plan(self) -> Optional[FaultPlan]:
+        """The fault plan the run executes under.
+
+        Precedence for ``fault_plan="auto"``: the environment profile
+        (``REPRO_FAULT_PROFILE``) if set, else the scenario's default
+        profile, else no faults.  Explicit plans/profiles/None win over
+        both, so golden parity runs pin ``fault_plan=None``.
+        """
+        import os
+
+        if (
+            self.fault_plan == "auto"
+            and self.scenario
+            and not os.environ.get(FAULT_PROFILE_ENV)
+        ):
+            plan = self.resolved_scenario().fault_plan()
+            return plan if plan.enabled else None
         return faults.resolve_plan(self.fault_plan)
 
     # -- serialization --------------------------------------------------
@@ -340,7 +447,7 @@ def _attacker(
         detect_switches=config.detect_switches,
         track_corrections=config.track_corrections,
         recover_collisions=config.recover_collisions,
-        fault_plan=config.fault_plan,
+        fault_plan=config.resolved_fault_plan(),
         metrics=metrics,
     )
 
@@ -352,12 +459,28 @@ def _attach_manifest(result, metrics, config: AttackConfig, **meta) -> None:
         result.manifest = metrics.manifest(config=config.to_dict(), **meta)
 
 
+def _scenario_of(config: AttackConfig) -> Optional[Scenario]:
+    return config.resolved_scenario()
+
+
 def train(
-    pairs: Iterable[Tuple[DeviceConfig, AppSpec]],
+    pairs: Optional[Iterable[Tuple[DeviceConfig, AppSpec]]] = None,
     config: Optional[AttackConfig] = None,
 ) -> ModelStore:
-    """Offline phase: train one model per (device config, app) pair."""
+    """Offline phase: train one model per (device config, app) pair.
+
+    With ``pairs=None`` the single pair comes from the config's
+    scenario: ``train(config=AttackConfig(scenario="pinpad"))``.
+    """
     config = config if config is not None else _DEFAULT_CONFIG
+    if pairs is None:
+        scn = _scenario_of(config)
+        if scn is None:
+            raise ValueError(
+                "train() needs explicit (device config, app) pairs or an "
+                "AttackConfig with a scenario set"
+            )
+        pairs = [(scn.device_config(), scn.app_spec())]
     return train_store(
         pairs,
         seed=config.train_seed,
@@ -367,16 +490,40 @@ def train(
 
 
 def simulate(
-    device_config: DeviceConfig,
-    target: AppSpec,
-    credential: str,
+    device_config: Optional[DeviceConfig] = None,
+    target: Optional[AppSpec] = None,
+    credential: str = "",
     seed: int = 1,
     config: Optional[AttackConfig] = None,
     speed_tier: Optional[str] = None,
 ) -> SessionTrace:
     """Compile a victim session where ``credential`` is typed into
-    ``target`` (GPU background load comes from the config)."""
+    ``target`` (GPU background load comes from the config).
+
+    ``device_config``, ``target`` and ``speed_tier`` each fall back to
+    the config's scenario when omitted, so a full victim session needs
+    only ``simulate(credential="1932", config=AttackConfig(scenario="pinpad"))``.
+    """
     config = config if config is not None else _DEFAULT_CONFIG
+    scn = _scenario_of(config)
+    if device_config is None:
+        if scn is None:
+            raise ValueError(
+                "simulate() needs a device_config or an AttackConfig with "
+                "a scenario set"
+            )
+        device_config = scn.device_config()
+    if target is None:
+        if scn is None:
+            raise ValueError(
+                "simulate() needs a target app or an AttackConfig with a "
+                "scenario set"
+            )
+        target = scn.app_spec()
+    if not credential:
+        raise ValueError("simulate() needs a non-empty credential")
+    if speed_tier is None and scn is not None:
+        speed_tier = scn.speed_tier
     return simulate_credential_entry(
         device_config,
         target,
@@ -504,7 +651,7 @@ def monitor(
         idle_interval_s=config.idle_interval_s,
         attack_interval_s=config.interval_s,
         attack_window_s=config.attack_window_s,
-        fault_plan=config.fault_plan,
+        fault_plan=config.resolved_fault_plan(),
         metrics=metrics,
     )
     report = service.run(
@@ -520,9 +667,9 @@ def monitor(
 
 def run_fleet(
     store: ModelStore,
-    device_config: DeviceConfig,
-    target: AppSpec,
-    credential: str,
+    device_config: Optional[DeviceConfig] = None,
+    target: Optional[AppSpec] = None,
+    credential: str = "",
     devices: int = 3,
     sessions_per_device: int = 2,
     seed: int = 7,
@@ -550,8 +697,28 @@ def run_fleet(
     manifest (folded into ``metrics`` when an enabled registry is
     passed).  ``report.lost == 0`` is the delivery contract: retries
     absorb injected drops.
+
+    ``device_config`` and ``target`` fall back to the config's scenario
+    when omitted, mirroring :func:`simulate`.
     """
     config = config if config is not None else _DEFAULT_CONFIG
+    scn = _scenario_of(config)
+    if device_config is None:
+        if scn is None:
+            raise ValueError(
+                "run_fleet() needs a device_config or an AttackConfig "
+                "with a scenario set"
+            )
+        device_config = scn.device_config()
+    if target is None:
+        if scn is None:
+            raise ValueError(
+                "run_fleet() needs a target app or an AttackConfig with "
+                "a scenario set"
+            )
+        target = scn.app_spec()
+    if not credential:
+        raise ValueError("run_fleet() needs a non-empty credential")
     kwargs = {} if retry is None else {"retry": retry}
     driver = FleetDriver(
         store,

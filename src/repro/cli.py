@@ -9,13 +9,18 @@ Commands:
   service (backpressure, retries, dedup; see ``docs/collector.md``)
 * ``survey``   — per-key weak-spot report for a keyboard
 * ``report``   — regenerate the evaluation figures into a directory
-* ``devices``  — list modeled phones, keyboards and apps
+* ``devices``  — list registered phones, keyboards and apps
+* ``scenarios`` — list / show / smoke-test the scenario registry
 
 The CLI is a thin shell over the public API (``repro.api``); every
 command maps onto one or two facade calls so it doubles as
-documentation.  ``steal`` and ``attack`` accept ``--fault-profile`` /
-``--fault-seed`` to exercise the resilient sampling path against an
-unreliable KGSL interface (see ``repro.faults``).
+documentation.  ``--phone`` / ``--keyboard`` / ``--app`` /
+``--scenario`` names are validated against their registries at
+argument-parse time, so a typo exits with a usage error (and a
+closest-match suggestion) before any work starts.  ``steal`` and
+``attack`` accept ``--fault-profile`` / ``--fault-seed`` to exercise
+the resilient sampling path against an unreliable KGSL interface (see
+``repro.faults``).
 """
 
 from __future__ import annotations
@@ -28,15 +33,16 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.api import (
-    CHASE,
-    KEYBOARDS,
-    PHONE_MODELS,
-    TARGET_APPS,
+    APP_REGISTRY,
+    KEYBOARD_REGISTRY,
+    PHONE_REGISTRY,
+    SCENARIO_REGISTRY,
     AttackConfig,
     CandidateGenerator,
     DeviceConfig,
     FaultPlan,
     MetricsRegistry,
+    UnknownNameError,
     app,
     attack,
     bar_chart,
@@ -48,11 +54,57 @@ from repro.api import (
     run_fleet,
     run_per_key_sweep,
     run_sessions,
+    scenario,
     simulate,
     train,
 )
 
 _FAULT_CHOICES = ("auto", "none", "mild", "harsh")
+
+_DEFAULT_PHONE = "oneplus8pro"
+_DEFAULT_KEYBOARD = "gboard"
+_DEFAULT_APP = "chase"
+
+
+def _registry_name(registry):
+    """An argparse ``type=`` validator: the name must exist in
+    ``registry``.  Unknown names become a usage error (exit code 2)
+    carrying the registry's known-set + did-you-mean message instead of
+    a traceback deep inside the attack."""
+
+    def check(value: str) -> str:
+        try:
+            registry.get(value)
+        except UnknownNameError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+        return value
+
+    return check
+
+
+def _add_axis_flags(parser: argparse.ArgumentParser) -> None:
+    """``--scenario`` plus per-axis overrides, all registry-validated.
+    Axis precedence: explicit flag > scenario axis > workhorse default."""
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        type=_registry_name(SCENARIO_REGISTRY),
+        metavar="NAME",
+        help="run a registered scenario (see 'repro scenarios'); "
+        "--phone/--keyboard/--app override individual axes",
+    )
+    parser.add_argument(
+        "--phone", default=None, type=_registry_name(PHONE_REGISTRY),
+        metavar="NAME", help=f"phone model (default {_DEFAULT_PHONE})",
+    )
+    parser.add_argument(
+        "--keyboard", default=None, type=_registry_name(KEYBOARD_REGISTRY),
+        metavar="NAME", help=f"keyboard (default {_DEFAULT_KEYBOARD})",
+    )
+    parser.add_argument(
+        "--app", default=None, type=_registry_name(APP_REGISTRY),
+        metavar="NAME", help=f"target app (default {_DEFAULT_APP})",
+    )
 
 
 def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
@@ -100,9 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     steal = sub.add_parser("steal", help="train + attack one credential end to end")
     steal.add_argument("credential", nargs="?", default="Tr0ub4dor&3")
-    steal.add_argument("--phone", default="oneplus8pro")
-    steal.add_argument("--keyboard", default="gboard")
-    steal.add_argument("--app", default="chase")
+    _add_axis_flags(steal)
     steal.add_argument("--seed", type=int, default=42)
     steal.add_argument(
         "--sessions",
@@ -116,16 +166,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     train_p = sub.add_parser("train", help="offline phase: train and save models")
     train_p.add_argument("output", help="model store JSON path")
-    train_p.add_argument("--phone", action="append", default=[])
-    train_p.add_argument("--keyboard", action="append", default=[])
-    train_p.add_argument("--app", action="append", default=[])
+    train_p.add_argument(
+        "--scenario", action="append", default=[],
+        type=_registry_name(SCENARIO_REGISTRY), metavar="NAME",
+        help="train the (device, app) pair of a registered scenario "
+        "(repeatable; combines with the --phone/--keyboard/--app grid)",
+    )
+    train_p.add_argument(
+        "--phone", action="append", default=[],
+        type=_registry_name(PHONE_REGISTRY), metavar="NAME",
+    )
+    train_p.add_argument(
+        "--keyboard", action="append", default=[],
+        type=_registry_name(KEYBOARD_REGISTRY), metavar="NAME",
+    )
+    train_p.add_argument(
+        "--app", action="append", default=[],
+        type=_registry_name(APP_REGISTRY), metavar="NAME",
+    )
 
     attack_p = sub.add_parser("attack", help="online phase using a saved store")
     attack_p.add_argument("store", help="model store JSON path")
     attack_p.add_argument("credential")
-    attack_p.add_argument("--phone", default="oneplus8pro")
-    attack_p.add_argument("--keyboard", default="gboard")
-    attack_p.add_argument("--app", default="chase")
+    _add_axis_flags(attack_p)
     attack_p.add_argument("--seed", type=int, default=42)
     attack_p.add_argument("--guesses", type=int, default=10)
     attack_p.add_argument(
@@ -151,9 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2,
         help="victim sessions each device runs and reports",
     )
-    fleet.add_argument("--phone", default="oneplus8pro")
-    fleet.add_argument("--keyboard", default="gboard")
-    fleet.add_argument("--app", default="chase")
+    _add_axis_flags(fleet)
     fleet.add_argument("--seed", type=int, default=42)
     fleet.add_argument(
         "--transport",
@@ -172,19 +233,66 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_metrics_flag(fleet)
 
     survey = sub.add_parser("survey", help="per-key weak spots for a keyboard")
-    survey.add_argument("--keyboard", default="gboard")
+    survey.add_argument(
+        "--keyboard", default=_DEFAULT_KEYBOARD,
+        type=_registry_name(KEYBOARD_REGISTRY), metavar="NAME",
+    )
     survey.add_argument("--repeats", type=int, default=6)
 
     report = sub.add_parser("report", help="regenerate the evaluation figures")
     report.add_argument("output_dir")
     report.add_argument("--scale", type=int, default=1)
 
-    sub.add_parser("devices", help="list modeled phones, keyboards and apps")
+    sub.add_parser("devices", help="list registered phones, keyboards and apps")
+
+    scenarios_p = sub.add_parser(
+        "scenarios",
+        help="list, inspect, or smoke-test the scenario registry",
+    )
+    ssub = scenarios_p.add_subparsers(dest="scenarios_command")
+    list_p = ssub.add_parser("list", help="list registered scenarios")
+    list_p.add_argument(
+        "--tag", default=None,
+        help="only scenarios carrying this registry tag (paper, matrix, "
+        "web, tier, extension, ...)",
+    )
+    show_p = ssub.add_parser("show", help="dump one scenario's spec")
+    show_p.add_argument(
+        "name", type=_registry_name(SCENARIO_REGISTRY), metavar="NAME"
+    )
+    smoke_p = ssub.add_parser(
+        "smoke",
+        help="run every registered scenario end to end, one short "
+        "session each; any scenario error fails the run",
+    )
+    smoke_p.add_argument(
+        "names", nargs="*", metavar="NAME",
+        type=_registry_name(SCENARIO_REGISTRY),
+        help="smoke only these scenarios (default: all registered)",
+    )
+    smoke_p.add_argument(
+        "--sweep-repeats", type=int, default=1,
+        help="training sweep repeats per model (default 1: fast smoke)",
+    )
     return parser
 
 
 def _config(phone_name: str, keyboard_name: str) -> DeviceConfig:
     return DeviceConfig(phone=phone(phone_name), keyboard=keyboard(keyboard_name))
+
+
+def _resolve_axes(args):
+    """Resolve ``(device_config, target, scenario_name)`` from the axis
+    flags: explicit flag > scenario axis > workhorse default."""
+    scn = scenario(args.scenario) if getattr(args, "scenario", None) else None
+    phone_name = args.phone or (scn.phone if scn else _DEFAULT_PHONE)
+    keyboard_name = args.keyboard or (scn.keyboard if scn else _DEFAULT_KEYBOARD)
+    app_name = args.app or (scn.app if scn else _DEFAULT_APP)
+    return (
+        _config(phone_name, keyboard_name),
+        app(app_name),
+        scn.name if scn else None,
+    )
 
 
 def _attack_config(args, **overrides) -> AttackConfig:
@@ -255,9 +363,8 @@ def _run_batched(
 
 
 def _cmd_steal(args) -> int:
-    config = _config(args.phone, args.keyboard)
-    target = app(args.app)
-    cfg = _attack_config(args, recognize_device=False)
+    config, target, scenario_name = _resolve_axes(args)
+    cfg = _attack_config(args, recognize_device=False, scenario=scenario_name)
     registry = _metrics_registry(args)
     print(f"training model for {config.config_key()} / {target.name} ...")
     store = train([(config, target)], config=cfg)
@@ -281,12 +388,18 @@ def _cmd_steal(args) -> int:
 
 
 def _cmd_train(args) -> int:
-    phones = args.phone or ["oneplus8pro"]
-    keyboards = args.keyboard or ["gboard"]
-    apps = args.app or ["chase"]
-    pairs = [
-        (_config(p, k), app(a)) for p in phones for k in keyboards for a in apps
-    ]
+    pairs = []
+    for name in args.scenario:
+        scn = scenario(name)
+        pairs.append((scn.device_config(), scn.app_spec()))
+    if args.phone or args.keyboard or args.app or not pairs:
+        phones = args.phone or [_DEFAULT_PHONE]
+        keyboards = args.keyboard or [_DEFAULT_KEYBOARD]
+        apps = args.app or [_DEFAULT_APP]
+        pairs.extend(
+            (_config(p, k), app(a))
+            for p in phones for k in keyboards for a in apps
+        )
     print(f"training {len(pairs)} model(s) ...")
     store = train(pairs)
     store.save(args.output)
@@ -299,9 +412,8 @@ def _cmd_train(args) -> int:
 
 def _cmd_attack(args) -> int:
     store = ModelStore.load(args.store)
-    config = _config(args.phone, args.keyboard)
-    target = app(args.app)
-    cfg = _attack_config(args)
+    config, target, scenario_name = _resolve_axes(args)
+    cfg = _attack_config(args, scenario=scenario_name)
     registry = _metrics_registry(args)
     if args.sessions > 1:
         code = _run_batched(
@@ -332,9 +444,8 @@ def _cmd_attack(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    config = _config(args.phone, args.keyboard)
-    target = app(args.app)
-    cfg = _attack_config(args, recognize_device=False)
+    config, target, scenario_name = _resolve_axes(args)
+    cfg = _attack_config(args, recognize_device=False, scenario=scenario_name)
     registry = _metrics_registry(args)
     unix_path = None
     tmpdir = None
@@ -388,11 +499,8 @@ def _cmd_fleet(args) -> int:
 
 
 def _cmd_survey(args) -> int:
-    if args.keyboard not in KEYBOARDS:
-        print(f"unknown keyboard {args.keyboard!r}; available: {sorted(KEYBOARDS)}")
-        return 2
-    config = default_config(keyboard=KEYBOARDS[args.keyboard])
-    stats = run_per_key_sweep(config, CHASE, repeats=args.repeats)
+    config = default_config(keyboard=keyboard(args.keyboard))
+    stats = run_per_key_sweep(config, app(_DEFAULT_APP), repeats=args.repeats)
     accuracy = {c: correct / total for c, (correct, total) in stats.items() if total}
     worst = dict(sorted(accuracy.items(), key=lambda kv: kv[1])[:12])
     print(bar_chart(worst, title=f"weakest keys on {args.keyboard}", vmax=1.0))
@@ -410,15 +518,85 @@ def _cmd_report(args) -> int:
 
 def _cmd_devices(args) -> int:
     print("phones:")
-    for name, spec in sorted(PHONE_MODELS.items()):
+    for name in PHONE_REGISTRY.names():
+        spec = phone(name)
         print(f"  {name:12s} {spec.display_name} ({spec.gpu.name}, Android {spec.android.version})")
     print("keyboards:")
-    for name, spec in sorted(KEYBOARDS.items()):
-        print(f"  {name:12s} {spec.display_name}")
+    for name in KEYBOARD_REGISTRY.names():
+        print(f"  {name:12s} {keyboard(name).display_name}")
     print("apps:")
-    for name, spec in sorted(TARGET_APPS.items()):
+    for name in APP_REGISTRY.names():
+        spec = app(name)
         print(f"  {name:14s} {spec.display_name} ({spec.category})")
+    print(
+        f"scenarios: {len(SCENARIO_REGISTRY)} registered "
+        "(see 'repro scenarios list')"
+    )
     return 0
+
+
+def _scenario_line(scn) -> str:
+    tier = scn.speed_tier or "-"
+    tags = ",".join(scn.tags) or "-"
+    return (
+        f"  {scn.name:22s} kb={scn.keyboard:10s} app={scn.app:12s} "
+        f"phone={scn.phone:12s} tier={tier:7s} faults={scn.fault_profile:5s} "
+        f"tags={tags}"
+    )
+
+
+def _smoke_credential(scn) -> str:
+    """A deterministic 8-char credential drawn from the scenario's
+    pool — stable across runs without reaching for an RNG."""
+    pool = scn.credential_pool()
+    return "".join(pool[(i * 7) % len(pool)] for i in range(8))
+
+
+def _cmd_scenarios(args) -> int:
+    command = getattr(args, "scenarios_command", None) or "list"
+    if command == "list":
+        names = SCENARIO_REGISTRY.names()
+        if getattr(args, "tag", None):
+            tagged = {s.name for s in SCENARIO_REGISTRY.tagged(args.tag)}
+            names = [n for n in names if n in tagged]
+        for name in names:
+            print(_scenario_line(scenario(name)))
+        print(f"{len(names)} scenario(s)")
+        return 0
+    if command == "show":
+        scn = scenario(args.name)
+        for key, value in scn.to_dict().items():
+            print(f"{key:14s}: {value!r}")
+        pool = scn.credential_pool()
+        print(f"{'pool':14s}: {len(pool)} chars ({pool[:20]!r}{'...' if len(pool) > 20 else ''})")
+        print(f"{'scene ops':14s}: {len(scn.compile_scene())}")
+        return 0
+    # smoke: every scenario must train, simulate and attack cleanly.
+    names = args.names or SCENARIO_REGISTRY.names()
+    failures = []
+    for name in names:
+        scn = scenario(name)
+        credential = _smoke_credential(scn)
+        started = time.perf_counter()
+        try:
+            cfg = AttackConfig(
+                scenario=name,
+                sweep_repeats=args.sweep_repeats,
+                recognize_device=False,
+                fault_plan=None,
+            )
+            store = train(config=cfg)
+            trace = simulate(credential=credential, seed=11, config=cfg)
+            result = attack(store, trace, seed=12, config=cfg)
+        except Exception as exc:  # noqa: BLE001 - any error fails the smoke
+            failures.append((name, exc))
+            print(f"FAIL  {name:22s} {type(exc).__name__}: {exc}")
+            continue
+        marker = "exact" if result.text == credential else "partial"
+        elapsed = time.perf_counter() - started
+        print(f"ok    {name:22s} {marker:7s} ({elapsed:.1f}s)")
+    print(f"{len(names) - len(failures)}/{len(names)} scenarios passed")
+    return 1 if failures else 0
 
 
 _COMMANDS = {
@@ -429,6 +607,7 @@ _COMMANDS = {
     "survey": _cmd_survey,
     "report": _cmd_report,
     "devices": _cmd_devices,
+    "scenarios": _cmd_scenarios,
 }
 
 

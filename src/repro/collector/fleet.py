@@ -185,7 +185,7 @@ class FleetDriver:
         client = CollectorClient(
             endpoint,
             device_id,
-            fault_plan=self.config.fault_plan,
+            fault_plan=self.config.resolved_fault_plan(),
             retry=self.retry,
             seed_offset=dev_seed,
         )

@@ -175,7 +175,7 @@ def _run_service_shard(payload: Dict[str, object]) -> ShardOutput:
         idle_interval_s=config.idle_interval_s,
         attack_interval_s=config.interval_s,
         attack_window_s=config.attack_window_s,
-        fault_plan=config.fault_plan,
+        fault_plan=config.resolved_fault_plan(),
         metrics=metrics,
     )
     indices: List[int] = list(payload["indices"])  # type: ignore[arg-type]

@@ -1,0 +1,153 @@
+"""Generic named-spec registries: the one lookup path for every axis.
+
+Keyboards, target apps, phone models and attack scenarios all used to be
+module-level dicts with hand-rolled ``KeyError`` strings.  This module
+gives them one shared mechanism:
+
+* :class:`Registry` — an insertion-ordered, name-keyed table of frozen
+  spec objects with idempotent registration, tag queries, and
+  deterministic listing (``names()`` is always sorted, so registration
+  order never changes lookup results);
+* :class:`UnknownNameError` — the single error type every lookup helper
+  raises, with a consistent message and a closest-match ("did you
+  mean") suggestion.
+
+Producers (``repro.android.keyboard``, ``repro.android.apps``,
+``repro.android.os_config``, ``repro.scenarios``) instantiate one
+registry each and register their specs at import time; consumers resolve
+names through the producer's lookup function (``keyboard()``, ``app()``,
+``phone()``, ``scenario()``) and never index the legacy dicts directly.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class UnknownNameError(KeyError):
+    """An unknown name was looked up in a :class:`Registry`.
+
+    Subclasses :class:`KeyError` so pre-registry callers that caught
+    ``KeyError`` keep working, but carries a consistent message and an
+    optional closest-match suggestion.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        known: List[str],
+        suggestion: Optional[str] = None,
+    ) -> None:
+        message = f"unknown {kind} {name!r}; known: {sorted(known)}"
+        if suggestion is not None:
+            message += f" — did you mean {suggestion!r}?"
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.suggestion = suggestion
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class Registry(Generic[T]):
+    """A name-keyed table of spec objects.
+
+    Specs are expected to be frozen (hashable, equality-comparable)
+    dataclasses with a ``name`` attribute; an alternative key function
+    can be supplied.  Registration is strict: a second spec under an
+    existing name raises unless it is *equal* to the first (idempotent
+    re-import) or ``replace=True`` is passed.
+    """
+
+    def __init__(self, kind: str, key: Callable[[T], str] = lambda s: s.name) -> None:
+        self.kind = kind
+        self._key = key
+        self._specs: Dict[str, T] = {}
+        self._tags: Dict[str, Tuple[str, ...]] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self, spec: T, tags: Tuple[str, ...] = (), replace: bool = False
+    ) -> T:
+        """Add ``spec`` under its name; returns the registered spec."""
+        name = self._key(spec)
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self.kind} spec has no usable name: {spec!r}")
+        existing = self._specs.get(name)
+        if existing is not None and not replace:
+            if existing == spec:
+                return existing  # idempotent re-registration
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered with a "
+                f"different spec; pass replace=True to override"
+            )
+        self._specs[name] = spec
+        self._tags[name] = tuple(tags)
+        return spec
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, name: str) -> T:
+        """The spec registered under ``name``.
+
+        Raises:
+            UnknownNameError: with the known names and a closest-match
+                suggestion when one is plausible.
+        """
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownNameError(
+                self.kind, name, list(self._specs), self.suggest(name)
+            ) from None
+
+    def suggest(self, name: str) -> Optional[str]:
+        """The closest registered name, if any is plausibly intended."""
+        if not isinstance(name, str):
+            return None
+        matches = difflib.get_close_matches(name, list(self._specs), n=1, cutoff=0.6)
+        return matches[0] if matches else None
+
+    def names(self) -> List[str]:
+        """All registered names, sorted — independent of registration order."""
+        return sorted(self._specs)
+
+    def tagged(self, tag: str) -> Tuple[T, ...]:
+        """Specs carrying ``tag``, in registration order."""
+        return tuple(
+            self._specs[name] for name, tags in self._tags.items() if tag in tags
+        )
+
+    def tags_of(self, name: str) -> Tuple[str, ...]:
+        self.get(name)  # raise the consistent error for unknown names
+        return self._tags[name]
+
+    # -- container protocol --------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def items(self) -> List[Tuple[str, T]]:
+        return [(name, self._specs[name]) for name in self.names()]
+
+    def values(self) -> List[T]:
+        return [self._specs[name] for name in self.names()]
+
+    def as_dict(self) -> Dict[str, T]:
+        """A plain-dict snapshot (sorted by name)."""
+        return dict(self.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.kind!r}, {len(self)} entries)"

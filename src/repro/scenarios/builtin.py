@@ -1,0 +1,74 @@
+"""The paper's scenario matrix, registered declaratively.
+
+Every cell the paper evaluates becomes a named scenario:
+
+* ``{keyboard}-{app}`` — the Table 2 band: 6 keyboards (Fig 20) × 6
+  native login apps (Fig 19), untiered typing, no faults;
+* ``gboard-{site}`` — the three Chrome web targets (chase.com,
+  schwab.com, experian.com) on the workhorse keyboard;
+* ``gboard-pnc`` — the animated PNC login page, the natural obfuscation
+  of Section 9.3;
+* ``gboard-chase-{fast,medium,slow}`` — the Section 7.2 typing-speed
+  tiers on the workhorse pair.
+
+Importing this module populates :data:`~repro.scenarios.SCENARIO_REGISTRY`;
+nothing here is consulted directly afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.android.apps import APP_REGISTRY
+from repro.android.keyboard import KEYBOARDS
+from repro.scenarios.spec import SPEED_TIERS, Scenario, register_scenario
+
+#: Fig 20 keyboards in evaluation order (the KEYBOARDS snapshot order).
+_MATRIX_KEYBOARDS = tuple(KEYBOARDS)
+#: Fig 19 native apps in evaluation order.
+_MATRIX_APPS = tuple(spec.name for spec in APP_REGISTRY.tagged("native"))
+#: The three Chrome-rendered web targets.
+_WEB_APPS = tuple(spec.name for spec in APP_REGISTRY.tagged("web"))
+
+for _kb in _MATRIX_KEYBOARDS:
+    for _app in _MATRIX_APPS:
+        register_scenario(
+            Scenario(
+                name=f"{_kb}-{_app}",
+                keyboard=_kb,
+                app=_app,
+                description=f"Table 2 cell: {_kb} keyboard typing into {_app}",
+                tags=("paper", "matrix"),
+            )
+        )
+
+for _site in _WEB_APPS:
+    register_scenario(
+        Scenario(
+            name=f"gboard-{_site}",
+            keyboard="gboard",
+            app=_site,
+            description=f"Web target {_site} rendered in Chrome (Fig 19)",
+            tags=("paper", "web"),
+        )
+    )
+
+register_scenario(
+    Scenario(
+        name="gboard-pnc",
+        keyboard="gboard",
+        app="pnc",
+        description="PNC's animated login page, the Section 9.3 obfuscation",
+        tags=("paper", "animated"),
+    )
+)
+
+for _tier in SPEED_TIERS:
+    register_scenario(
+        Scenario(
+            name=f"gboard-chase-{_tier}",
+            keyboard="gboard",
+            app="chase",
+            speed_tier=_tier,
+            description=f"Section 7.2 {_tier}-typist tier on the workhorse pair",
+            tags=("paper", "tier"),
+        )
+    )

@@ -82,3 +82,33 @@ def balanced_character_stream(rng: np.random.Generator, repeats: int) -> List[st
     chars: List[str] = [c for c in KEYBOARD_CHARACTERS for _ in range(repeats)]
     order = rng.permutation(len(chars))
     return [chars[i] for i in order]
+
+
+def pool_for_keyboard(spec, display=None) -> str:
+    """Every PASSWORD_POOL character with a key on ``spec``'s layout.
+
+    This is the scenario-resolved replacement for assuming the global
+    Fig 18 pool: a qwerty keyboard returns the full pool, the PIN pad
+    only its ten digits.  Mirrors the filter offline training applies
+    (``OfflineTrainer.trainable_characters``).
+    """
+    from repro.android.display import Display
+    from repro.android.keyboard import KeyboardLayout
+
+    layout = KeyboardLayout(spec, display if display is not None else Display())
+    return "".join(c for c in PASSWORD_POOL if layout.has_key(c))
+
+
+def pool_for_scenario(scenario) -> str:
+    """The credential pool a :class:`~repro.scenarios.Scenario` draws
+    from: its explicit charset, else the keyboard-filtered pool."""
+    return scenario.credential_pool()
+
+
+def scenario_credential(
+    rng: np.random.Generator,
+    scenario,
+    length: Optional[int] = None,
+) -> str:
+    """A random credential over the scenario's pool (paper lengths 8-16)."""
+    return random_credential(rng, length=length, pool=pool_for_scenario(scenario))

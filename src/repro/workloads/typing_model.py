@@ -164,3 +164,25 @@ def split_by_speed(intervals: np.ndarray) -> Dict[str, np.ndarray]:
         ],
         "slow": intervals[intervals > MEDIUM_MAX_INTERVAL_S],
     }
+
+
+def speed_tier_range(tier: Optional[str]) -> Optional[Tuple[float, float]]:
+    """Module-level tier → interval clamp (``None`` = unconstrained).
+
+    The instance method :meth:`TypingModel.speed_tier_range` needs a
+    model; scenario resolution only needs the Section 7.2 boundaries.
+    """
+    if tier is None:
+        return None
+    if tier == "fast":
+        return (MIN_HUMAN_INTERVAL_S, FAST_MAX_INTERVAL_S)
+    if tier == "medium":
+        return (FAST_MAX_INTERVAL_S, MEDIUM_MAX_INTERVAL_S)
+    if tier == "slow":
+        return (MEDIUM_MAX_INTERVAL_S, 2.5)
+    raise ValueError(f"unknown speed tier {tier!r}; use fast/medium/slow")
+
+
+def interval_range_for_scenario(scenario) -> Optional[Tuple[float, float]]:
+    """The interval clamp a :class:`~repro.scenarios.Scenario` imposes."""
+    return speed_tier_range(scenario.speed_tier)

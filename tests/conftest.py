@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.android.apps import CHASE
+from repro.android.apps import app
 from repro.android.os_config import default_config
 from repro.core.model_store import ModelStore
 from repro.core.pipeline import train_model
@@ -36,7 +36,7 @@ def config():
 @pytest.fixture(scope="session")
 def chase_model(config):
     """Offline-trained model for (Oneplus 8 Pro, Chase)."""
-    return train_model(config, CHASE, seed=7)
+    return train_model(config, app("chase"), seed=7)
 
 
 @pytest.fixture(scope="session")

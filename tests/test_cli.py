@@ -21,9 +21,13 @@ class TestSteal:
         assert "inferred" in out
         assert code == 0
 
-    def test_unknown_phone_raises(self):
-        with pytest.raises(KeyError):
+    def test_unknown_phone_is_usage_error(self, capsys):
+        # registry validation happens at argparse time: exit 2, no traceback
+        with pytest.raises(SystemExit) as excinfo:
             main(["steal", "x" * 8, "--phone", "iphone15"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown phone 'iphone15'" in err
 
 
 class TestTrainAttack:
@@ -55,7 +59,11 @@ class TestSurvey:
         assert "overall per-key accuracy" in out
 
     def test_unknown_keyboard(self, capsys):
-        assert main(["survey", "--keyboard", "nokia3310"]) == 2
+        # same argparse-time registry validation as steal/attack/fleet
+        with pytest.raises(SystemExit) as excinfo:
+            main(["survey", "--keyboard", "nokia3310"])
+        assert excinfo.value.code == 2
+        assert "unknown keyboard 'nokia3310'" in capsys.readouterr().err
 
 
 class TestReport:

@@ -87,6 +87,19 @@ class TestStealE2E:
         proc = run_cli("steal", "hunterpw12", "--app", "definitely-not-an-app")
         assert proc.returncode != 0
 
+    def test_keyboard_typo_is_usage_error_not_traceback(self):
+        proc = run_cli("steal", "hunterpw12", "--keyboard", "gbord")
+        assert proc.returncode == 2
+        combined = proc.stderr + proc.stdout
+        assert "Traceback" not in combined
+        assert "unknown keyboard 'gbord'" in combined
+        assert "did you mean 'gboard'" in combined
+
+    def test_scenario_flag_runs_pinpad_end_to_end(self):
+        proc = run_cli("steal", "1932", "--scenario", "pinpad", "--seed", "7")
+        assert proc.returncode == 0, proc.stderr
+        assert "outcome  : EXACT" in proc.stdout
+
 
 class TestAttackE2E:
     def test_attack_workers2_batch(self, trained_store, tmp_path):
@@ -146,5 +159,31 @@ class TestTopLevelE2E:
     def test_devices_lists_inventory(self):
         proc = run_cli("devices")
         assert proc.returncode == 0
-        for expected in ("oneplus8pro", "gboard", "chase"):
+        for expected in ("oneplus8pro", "gboard", "chase", "pinpad", "scenarios:"):
             assert expected in proc.stdout
+
+
+class TestScenariosE2E:
+    def test_scenarios_list_covers_matrix_and_extension(self):
+        proc = run_cli("scenarios", "list")
+        assert proc.returncode == 0
+        for expected in ("gboard-chase", "swift-schwab", "pinpad"):
+            assert expected in proc.stdout
+
+    def test_scenarios_show_dumps_spec(self):
+        proc = run_cli("scenarios", "show", "pinpad")
+        assert proc.returncode == 0
+        assert "charset" in proc.stdout
+        assert "'1234567890'" in proc.stdout
+
+    def test_scenarios_smoke_single_name(self):
+        proc = run_cli("scenarios", "smoke", "pinpad")
+        assert proc.returncode == 0, proc.stderr
+        assert "1/1 scenarios passed" in proc.stdout
+
+    def test_scenarios_smoke_unknown_name_usage_error(self):
+        proc = run_cli("scenarios", "smoke", "pinpda")
+        assert proc.returncode == 2
+        combined = proc.stderr + proc.stdout
+        assert "Traceback" not in combined
+        assert "did you mean 'pinpad'" in combined

@@ -27,7 +27,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.api import AttackConfig, CHASE, FaultPlan, attack, run_sessions, simulate
+from repro.api import AttackConfig, FaultPlan, app, attack, run_sessions, simulate
 from repro.parallel.sharded import ShardedRuntime
 from repro.runtime.trace import RuntimeTrace
 
@@ -127,7 +127,7 @@ def check_or_update(name: str, payload, update: bool) -> None:
 @pytest.fixture(scope="module")
 def golden_traces(config):
     return [
-        simulate(config, CHASE, credential, seed=SIM_SEED + i)
+        simulate(config, app("chase"), credential, seed=SIM_SEED + i)
         for i, credential in enumerate(CREDENTIALS)
     ]
 

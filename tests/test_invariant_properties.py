@@ -12,6 +12,10 @@ were only example-tested until now:
   session indices, deterministic under its seed, and balanced within
   one session.
 
+A third property guards the scenario registry: every registered
+scenario — builtin or plugin — must compile a scene and round-trip
+through its dict form.
+
 Hypothesis generates the cases; the assertions are the invariants, not
 specific values.
 """
@@ -20,9 +24,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 import pytest
 
+from repro.android.display import Display
+from repro.android.keyboard import KeyboardLayout
 from repro.gpu import counters as pc
 from repro.kgsl.sampler import PcDelta
 from repro.parallel.plan import ShardPlan
+from repro.scenarios import Scenario, scenario, scenario_names
 
 SPECS = list(pc.SELECTED_COUNTERS)
 
@@ -194,3 +201,32 @@ class TestShardPlanProperties:
             ShardPlan(3, 2).shard_of(3)
         with pytest.raises(IndexError):
             ShardPlan(3, 2).shard_of(-1)
+
+
+class TestScenarioRegistryProperties:
+    """Every registered scenario is a *runnable* cell: its axes resolve,
+    its pool is typeable, and it compiles a popup scene.  Sampling from
+    the live registry means plugin-registered scenarios (the PIN pad
+    today, anything from ``REPRO_SCENARIO_MODULES`` tomorrow) are held
+    to the same bar as the paper matrix."""
+
+    @given(name=st.sampled_from(scenario_names()))
+    @settings(max_examples=60, deadline=None)
+    def test_every_scenario_compiles_a_scene(self, name):
+        scn = scenario(name)
+        scene = scn.compile_scene()
+        assert len(scene) > 0
+        pool = scn.credential_pool()
+        assert pool
+        # every pool character must be typeable on the scenario's layout
+        layout = KeyboardLayout(
+            scn.keyboard_spec(),
+            Display(resolution=scn.phone_spec().resolution),
+        )
+        assert all(layout.has_key(c) for c in pool)
+
+    @given(name=st.sampled_from(scenario_names()))
+    @settings(max_examples=60, deadline=None)
+    def test_scenario_dict_round_trip_identity(self, name):
+        scn = scenario(name)
+        assert Scenario.from_dict(scn.to_dict()) == scn

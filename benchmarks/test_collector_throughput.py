@@ -1,9 +1,19 @@
-"""Collector ingestion throughput under the mild fault profile.
+"""Collector ingestion throughput: fault tolerance and codec comparison.
 
-The fleet-scale claim of ``docs/collector.md``: one asyncio collector
-sustains **≥ 1000 sessions/s** of ingestion from concurrent devices with
-**zero lost results** while the mild fault profile drops connections and
-slows reads — retries absorb every injected failure.
+Two measurements back the collector tier:
+
+1. **Fleet ingestion under faults** — the fleet-scale claim of
+   ``docs/collector.md``: one asyncio collector sustains **>= 1000
+   sessions/s** with **zero lost results** while the mild fault profile
+   drops connections and slows reads — retries absorb every injected
+   failure.
+
+2. **Codec comparison** — the same sender fleet with no faults, once
+   per wire codec.  Every payload carries the full 11-counter delta
+   vector the attack loop ships, so this measures exactly what the
+   binary codec was built for: one ``struct`` pack/unpack per result
+   instead of per-field JSON.  The binary floor is **>= 5000
+   sessions/s**.
 
 The devices here are synthetic senders (pre-built payloads, no attack
 compute), because this bench measures the *network* layer: framing,
@@ -11,8 +21,9 @@ ack round trips, dedup, the bounded queue, and aggregation.  End-to-end
 fleet runs with real attack compute are ``tests/test_collector.py`` and
 ``repro fleet``.
 
-Writes ``BENCH_collector.json`` (ingest rate, retries, duplicate
-frames) as the machine-readable record; CI uploads it as an artifact.
+Writes ``BENCH_collector.json`` (ingest rates per codec, retries,
+duplicate frames) as the machine-readable record; CI uploads it as an
+artifact.
 """
 
 import threading
@@ -22,55 +33,69 @@ import pytest
 
 from repro.collector import (
     CollectorClient,
+    CollectorConfig,
     CollectorHandle,
     RetryPolicy,
     SessionResultPayload,
 )
 from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry
 from conftest import scaled, write_bench_manifest
 
 pytestmark = pytest.mark.bench
 
 #: Ingestion floor the collector must sustain locally (sessions/s).
 MIN_INGEST_RATE = 1000.0
+#: Floor for the binary codec with delta-carrying payloads (sessions/s).
+MIN_BINARY_INGEST_RATE = 5000.0
 
 DEVICES = 4
 SESSIONS_PER_DEVICE = scaled(400)
+
+BENCH_RETRY = RetryPolicy(max_attempts=10, base_delay_s=0.002, max_delay_s=0.05)
 
 #: The mild profile's fault knobs, reseeded per device below — the same
 #: plan the CI fault matrix runs, driving the network injector here.
 MILD = FaultPlan.from_profile("mild", seed=11)
 
+#: A realistic per-session counter delta vector (11 fixed u64s).
+DELTAS = (1208, 604, 912, 48123, 310, 42, 288, 1200, 96, 40288, 11008)
 
-def _stream_device(endpoint, d, errors):
+
+def _payload(device_id, i):
+    return SessionResultPayload(
+        device_id, i, "pw123456", 8, exact=True, deltas=DELTAS, mask=0x7FF
+    )
+
+
+def _stream_device(endpoint, d, errors, codec, fault_plan):
     device_id = f"device-{d:04d}"
     client = CollectorClient(
         endpoint,
         device_id,
-        fault_plan=MILD,
-        retry=RetryPolicy(max_attempts=10, base_delay_s=0.002, max_delay_s=0.05),
+        fault_plan=fault_plan,
+        config=CollectorConfig(codec=codec, retry=BENCH_RETRY),
         seed_offset=d,
     )
     try:
         with client:
             client.send_results(
-                SessionResultPayload(device_id, i, "pw123456", 8, exact=True)
-                for i in range(SESSIONS_PER_DEVICE)
+                _payload(device_id, i) for i in range(SESSIONS_PER_DEVICE)
             )
     except Exception as exc:  # pragma: no cover - surfaced via `errors`
         errors.append(exc)
     return client.stats
 
 
-def test_collector_sustains_fleet_ingestion():
-    sent = DEVICES * SESSIONS_PER_DEVICE
+def _run_fleet(codec, fault_plan=None):
+    """Stream the full sender fleet once; returns (handle registry, stats, wall)."""
     errors = []
     stats = [None] * DEVICES
-    with CollectorHandle(transport="tcp", queue_size=256) as handle:
+    with CollectorHandle(CollectorConfig(queue_size=256, codec=codec)) as handle:
         endpoint = handle.endpoint
 
         def run(d):
-            stats[d] = _stream_device(endpoint, d, errors)
+            stats[d] = _stream_device(endpoint, d, errors, codec, fault_plan)
 
         threads = [
             threading.Thread(target=run, args=(d,), name=f"bench-device-{d}")
@@ -82,9 +107,15 @@ def test_collector_sustains_fleet_ingestion():
         for t in threads:
             t.join()
         elapsed = time.perf_counter() - started
-    assert not errors, f"device senders failed: {errors}"
+        snapshot = handle.server.registry
+        assert not errors, f"device senders failed: {errors}"
+        return snapshot, stats, elapsed
 
-    registry = handle.server.registry
+
+def test_collector_sustains_fleet_ingestion():
+    sent = DEVICES * SESSIONS_PER_DEVICE
+    registry, stats, elapsed = _run_fleet("auto", fault_plan=MILD)
+
     ingested = registry.counter("collector.sessions_ingested").value
     dupes = registry.counter("collector.dupes_dropped").value
     retries = sum(s.retries for s in stats)
@@ -103,7 +134,7 @@ def test_collector_sustains_fleet_ingestion():
     assert drops > 0, "mild profile should have injected connection drops"
     assert rate >= MIN_INGEST_RATE
 
-    bench = type(registry)()
+    bench = MetricsRegistry()
     bench.gauge("collector.bench_ingest_rate").set(rate)
     bench.gauge("collector.bench_wall_s").set(elapsed)
     bench.counter("collector.bench_sessions").inc(sent)
@@ -111,6 +142,42 @@ def test_collector_sustains_fleet_ingestion():
     bench.counter("collector.bench_injected_drops").inc(drops)
     bench.counter("collector.bench_duplicate_frames").inc(dupes)
     bench.merge_snapshot(registry.snapshot())
+    test_collector_sustains_fleet_ingestion.registry = bench
     write_bench_manifest(
         "collector", bench, devices=DEVICES, sessions=sent, profile="mild"
+    )
+
+
+def test_codec_ingest_comparison():
+    sent = DEVICES * SESSIONS_PER_DEVICE
+    rates = {}
+    for codec in ("json", "binary"):
+        registry, _, elapsed = _run_fleet(codec)
+        ingested = registry.counter("collector.sessions_ingested").value
+        negotiated = registry.counter(f"collector.codec.{codec}").value
+        assert ingested == sent
+        assert negotiated == DEVICES, f"every device should negotiate {codec}"
+        rates[codec] = ingested / elapsed
+
+    speedup = rates["binary"] / rates["json"]
+    print(f"\ncodec comparison: {DEVICES} devices x {SESSIONS_PER_DEVICE} sessions,")
+    print("  full 11-counter delta payloads, no faults")
+    for codec, rate in rates.items():
+        print(f"  {codec:6s}: {rate:8.0f} sessions/s")
+    print(f"  binary/json: {speedup:.2f}x (binary floor {MIN_BINARY_INGEST_RATE:.0f}/s)")
+    assert rates["binary"] >= MIN_BINARY_INGEST_RATE
+
+    bench = getattr(
+        test_collector_sustains_fleet_ingestion, "registry", MetricsRegistry()
+    )
+    bench.gauge("collector.bench_json_ingest_rate").set(rates["json"])
+    bench.gauge("collector.bench_binary_ingest_rate").set(rates["binary"])
+    bench.gauge("collector.bench_codec_speedup").set(speedup)
+    write_bench_manifest(
+        "collector",
+        bench,
+        devices=DEVICES,
+        sessions=sent,
+        profile="mild",
+        codecs=["json", "binary"],
     )

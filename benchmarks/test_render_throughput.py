@@ -1,0 +1,113 @@
+"""Render throughput: batched numpy compositing vs the scalar reference.
+
+The tile renderer backs every simulated frame the attack loop samples, so
+its cost bounds how many sessions a fleet run can generate per second.
+:meth:`AdrenoPipeline.render` stacks a scene's ops into parallel ndarrays
+and composites the whole frame in one batched pass (occlusion solved on a
+coordinate-compressed occluder grid via BLAS matmuls);
+:meth:`AdrenoPipeline.render_reference` is the original per-op Python
+walk, kept as the parity oracle.
+
+The workload is the paper's hot frame: a full GBoard-style keyboard — 30
+key caps with glyph ink quads over an opaque panel — plus the key-press
+popup that drives the Section 3 signal.  The batched path must be >= 3x
+the reference on this mix and integer-identical on every scene.
+
+Headline numbers land in ``BENCH_render.json``.
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import run_once, scaled, write_bench_manifest
+from repro.android.geometry import Rect
+from repro.android.layers import DrawOp, Layer, Scene, solid_quad
+from repro.gpu.adreno import adreno
+from repro.gpu.pipeline import AdrenoPipeline
+from repro.obs import MetricsRegistry
+
+pytestmark = pytest.mark.bench
+
+#: Required advantage of the batched compositor over the scalar walk.
+MIN_SPEEDUP = 3.0
+
+KEYS = 30
+SCENES = scaled(150)
+
+
+def _keyboard_scene(rng: random.Random) -> Scene:
+    """One keyboard frame: background, key caps + glyph ink, press popup."""
+    background = Layer("bg").add(solid_quad(Rect(0, 0, 1080, 2280)))
+    keyboard = Layer("kbd").add(solid_quad(Rect(0, 1500, 1080, 2280)))
+    for _ in range(KEYS):
+        x = rng.randrange(0, 980)
+        y = rng.randrange(1500, 2150)
+        keyboard.add(solid_quad(Rect(x, y, x + 96, y + 128)))
+        keyboard.add(
+            DrawOp(
+                rect=Rect(x + 20, y + 30, x + 76, y + 98),
+                coverage=rng.choice([0.2, 0.3, 0.4]),
+                primitives=rng.randint(2, 8),
+                textured=True,
+            )
+        )
+    popup = Layer("popup").add(solid_quad(Rect(400, 1300, 560, 1500)))
+    popup.add(
+        DrawOp(
+            rect=Rect(430, 1330, 530, 1470),
+            coverage=0.35,
+            primitives=4,
+            textured=True,
+        )
+    )
+    return Scene([background, keyboard, popup])
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def test_vectorized_compositing_speedup(benchmark):
+    rng = random.Random(650)
+    scenes = [_keyboard_scene(rng) for _ in range(SCENES)]
+    pipeline = AdrenoPipeline(adreno(650))
+
+    def batched():
+        return [pipeline.render(s) for s in scenes]
+
+    def reference():
+        return [pipeline.render_reference(s) for s in scenes]
+
+    # parity first: the speed claim is worthless if the counters drift
+    for scene in scenes[:20]:
+        fast = pipeline.render(scene)
+        slow = pipeline.render_reference(scene)
+        assert fast.increment.values == slow.increment.values
+        assert fast.pixels_touched == slow.pixels_touched
+
+    batched(), reference()  # warm caches on both paths
+    t_batch = min(_timed(batched) for _ in range(3))
+    t_ref = min(_timed(reference) for _ in range(3))
+    run_once(benchmark, batched)
+
+    speedup = t_ref / t_batch
+    rate_batch = SCENES / t_batch
+    rate_ref = SCENES / t_ref
+    ops = sum(len(layer.ops) for layer in scenes[0])
+    print(f"\ntile compositing, {SCENES} keyboard scenes x {ops} ops:")
+    print(f"  reference: {1e3 * t_ref:7.2f} ms  ({rate_ref:,.0f} scenes/s)")
+    print(f"  batched  : {1e3 * t_batch:7.2f} ms  ({rate_batch:,.0f} scenes/s)")
+    print(f"  speedup  : {speedup:.2f}x (floor {MIN_SPEEDUP:.1f}x)")
+    assert speedup >= MIN_SPEEDUP, f"batched compositing only {speedup:.2f}x"
+
+    registry = MetricsRegistry()
+    registry.gauge("render.scenes").set(SCENES)
+    registry.gauge("render.ops_per_scene").set(ops)
+    registry.gauge("render.reference_scenes_per_s").set(rate_ref)
+    registry.gauge("render.batched_scenes_per_s").set(rate_batch)
+    registry.gauge("render.speedup").set(speedup)
+    write_bench_manifest("render", registry, scenes=SCENES, keys=KEYS)

@@ -132,6 +132,51 @@ class Scene:
             bounds = bounds.union(layer.bounds())
         return bounds
 
+    def op_arrays(self) -> "SceneArrays":
+        """Stack every op's fields into parallel numpy arrays.
+
+        This is the render hot path's input: one structured pass over the
+        scene instead of per-op Python attribute access inside the
+        pipeline (see :meth:`repro.gpu.pipeline.AdrenoPipeline.render`).
+        Ops keep scene order (back-to-front, layer-major), so reductions
+        over these arrays see exactly the sequence
+        :meth:`ops_with_occluders` yields.
+        """
+        import numpy as np
+
+        rows = [
+            (
+                index,
+                op.rect.left,
+                op.rect.top,
+                op.rect.right,
+                op.rect.bottom,
+                op.primitives,
+                op.opaque,
+                op.textured,
+            )
+            for index, layer in enumerate(self.layers)
+            for op in layer.ops
+        ]
+        coverage = [
+            op.coverage for layer in self.layers for op in layer.ops
+        ]
+        if rows:
+            ints = np.array(rows, dtype=np.int64)
+        else:
+            ints = np.empty((0, 8), dtype=np.int64)
+        return SceneArrays(
+            layer=ints[:, 0],
+            left=ints[:, 1],
+            top=ints[:, 2],
+            right=ints[:, 3],
+            bottom=ints[:, 4],
+            primitives=ints[:, 5],
+            opaque=ints[:, 6].astype(bool),
+            textured=ints[:, 7].astype(bool),
+            coverage=np.array(coverage, dtype=np.float64),
+        )
+
     def ops_with_occluders(self) -> Iterator[Tuple[int, DrawOp, List[Rect]]]:
         """Yield ``(layer_index, op, occluding_rects)`` for every op.
 
@@ -148,6 +193,29 @@ class Scene:
         for index, layer in enumerate(self.layers):
             for op in layer.ops:
                 yield index, op, opaque_above[index]
+
+
+@dataclass
+class SceneArrays:
+    """One scene's ops as parallel numpy columns (layer-major order).
+
+    ``layer``/``left``/``top``/``right``/``bottom``/``primitives`` are
+    int64, ``opaque``/``textured`` bool, ``coverage`` float64 — the
+    batched form the vectorized Adreno pipeline composites in one pass.
+    """
+
+    layer: "object"
+    left: "object"
+    top: "object"
+    right: "object"
+    bottom: "object"
+    primitives: "object"
+    opaque: "object"
+    textured: "object"
+    coverage: "object"
+
+    def __len__(self) -> int:
+        return int(self.layer.shape[0])
 
 
 def solid_quad(rect: Rect, label: str = "", opaque: bool = True) -> DrawOp:

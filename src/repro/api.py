@@ -74,6 +74,7 @@ from repro.analysis.reporting import bar_chart
 from repro.analysis.traces import TraceSummary, annotate, render_trace
 from repro.collector import (
     CollectorClient,
+    CollectorConfig,
     CollectorHandle,
     CollectorServer,
     FleetDriver,
@@ -287,6 +288,7 @@ __all__ = [
     "CollectorServer",
     "CollectorHandle",
     "CollectorClient",
+    "CollectorConfig",
     "RetryPolicy",
     "SessionResultPayload",
     # runtime observability
@@ -675,12 +677,13 @@ def run_fleet(
     seed: int = 7,
     config: Optional[AttackConfig] = None,
     workers: int = 1,
-    transport: str = "tcp",
-    unix_path: Optional[str] = None,
-    queue_size: int = 256,
-    retry: Optional[RetryPolicy] = None,
+    collector: Optional[CollectorConfig] = None,
     metrics: Optional[MetricsRegistry] = None,
     device_threads: Optional[int] = None,
+    transport: Optional[str] = None,
+    unix_path: Optional[str] = None,
+    queue_size: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> FleetReport:
     """Run ``devices`` simulated victims streaming into one collector.
 
@@ -691,6 +694,12 @@ def run_fleet(
     retry-until-acked delivery and seq-number deduplication.  The
     config's fault plan injects both KGSL-layer faults inside each
     device and connection drops / slow reads on the uplink.
+
+    ``collector`` is the tier's :class:`CollectorConfig` — transport,
+    wire codec (``auto``/``binary``/``json``), backpressure bound,
+    retry schedule.  The old ``transport=``/``unix_path=``/
+    ``queue_size=``/``retry=`` keywords still work through a
+    deprecation shim.
 
     Returns a :class:`FleetReport` — ingested payloads in (device,
     session) order, loss/duplicate/retry accounting, and the merged run
@@ -719,7 +728,22 @@ def run_fleet(
         target = scn.app_spec()
     if not credential:
         raise ValueError("run_fleet() needs a non-empty credential")
-    kwargs = {} if retry is None else {"retry": retry}
+    legacy = {
+        key: value
+        for key, value in (
+            ("transport", transport),
+            ("unix_path", unix_path),
+            ("queue_size", queue_size),
+            ("retry", retry),
+        )
+        if value is not None
+    }
+    if legacy:
+        from repro.collector.config import shim_legacy_kwargs
+        from repro.collector.fleet import _LEGACY_FLEET_KWARGS, FLEET_RETRY
+
+        base = collector if collector is not None else CollectorConfig(retry=FLEET_RETRY)
+        collector = shim_legacy_kwargs(base, legacy, "run_fleet", _LEGACY_FLEET_KWARGS)
     driver = FleetDriver(
         store,
         device_config,
@@ -730,11 +754,8 @@ def run_fleet(
         config=config,
         seed=seed,
         workers=workers,
-        transport=transport,
-        unix_path=unix_path,
-        queue_size=queue_size,
+        collector=collector,
         metrics=metrics,
         device_threads=device_threads,
-        **kwargs,
     )
     return driver.run()

@@ -46,6 +46,7 @@ from repro.api import (
     app,
     attack,
     bar_chart,
+    CollectorConfig,
     default_config,
     generate_report,
     keyboard,
@@ -227,6 +228,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="collector in-flight queue bound (the backpressure knob)",
+    )
+    fleet.add_argument(
+        "--codec",
+        choices=("auto", "binary", "json"),
+        default="auto",
+        help="wire codec: auto negotiates the struct-packed binary frames "
+        "and falls back to JSON for old peers; binary/json pin the choice",
     )
     _add_workers_flag(fleet)
     _add_fault_flags(fleet)
@@ -455,6 +463,15 @@ def _cmd_fleet(args) -> int:
     print(f"training model for {config.config_key()} / {target.name} ...")
     store = train([(config, target)], config=cfg)
     try:
+        from repro.collector.fleet import FLEET_RETRY
+
+        collector_cfg = CollectorConfig(
+            transport=args.transport,
+            unix_path=unix_path,
+            codec=args.codec,
+            queue_size=args.queue_size,
+            retry=FLEET_RETRY,
+        )
         report = run_fleet(
             store,
             config,
@@ -465,9 +482,7 @@ def _cmd_fleet(args) -> int:
             seed=args.seed,
             config=cfg,
             workers=args.workers,
-            transport=args.transport,
-            unix_path=unix_path,
-            queue_size=args.queue_size,
+            collector=collector_cfg,
             metrics=registry,
         )
     finally:
@@ -475,7 +490,8 @@ def _cmd_fleet(args) -> int:
             tmpdir.cleanup()
     print(
         f"fleet      : {report.devices} devices x {args.sessions} sessions "
-        f"(transport={args.transport}, workers={args.workers})"
+        f"(transport={args.transport}, codec={args.codec}, "
+        f"workers={args.workers})"
     )
     print(
         f"ingested   : {report.ingested}/{report.sessions_total} results "

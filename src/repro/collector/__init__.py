@@ -4,7 +4,10 @@ The first cross-process networking layer of the reproduction — many
 simulated devices stream their :class:`SessionResultPayload` frames into
 one asyncio :class:`CollectorServer` with bounded-queue backpressure,
 retry-until-acked delivery, and ``(device_id, seq)`` deduplication.
-``docs/collector.md`` is the full guide.
+The wire speaks two negotiated codecs — a struct-packed binary frame
+format (the 11 counter deltas as fixed u64s) and length-prefixed JSON
+as the compatibility fallback — configured through one
+:class:`CollectorConfig`.  ``docs/collector.md`` is the full guide.
 """
 
 from repro.collector.client import (
@@ -12,6 +15,10 @@ from repro.collector.client import (
     CollectorClient,
     CollectorClientError,
     NetworkFaultInjector,
+)
+from repro.collector.config import (
+    CODECS,
+    CollectorConfig,
     RetryPolicy,
 )
 from repro.collector.fleet import (
@@ -19,12 +26,33 @@ from repro.collector.fleet import (
     DeviceOutcome,
     FleetDriver,
     FleetReport,
+    trace_counter_deltas,
+)
+from repro.collector.frames import (
+    BINARY_CODEC,
+    JSON_CODEC,
+    Ack,
+    Bye,
+    ByeOk,
+    Frame,
+    Hello,
+    HelloOk,
+    Metrics,
+    MetricsOk,
+    ProtocolError,
+    Result,
+    codec_for,
+    decode_any,
+    negotiate_codec,
 )
 from repro.collector.framing import (
     MAX_FRAME_BYTES,
+    N_COUNTERS,
     PROTO_VERSION,
     ConnectionClosed,
     FrameError,
+    FrameTooLarge,
+    FrameTruncated,
     SessionResultPayload,
     decode_body,
     encode_frame,
@@ -37,6 +65,8 @@ __all__ = [
     "CollectorHandle",
     "CollectorClient",
     "CollectorClientError",
+    "CollectorConfig",
+    "CODECS",
     "ClientStats",
     "NetworkFaultInjector",
     "RetryPolicy",
@@ -44,12 +74,31 @@ __all__ = [
     "FleetReport",
     "DeviceOutcome",
     "DEVICE_SEED_STRIDE",
+    "trace_counter_deltas",
     "SessionResultPayload",
     "FrameError",
+    "FrameTooLarge",
+    "FrameTruncated",
     "ConnectionClosed",
+    "Frame",
+    "Hello",
+    "HelloOk",
+    "Result",
+    "Ack",
+    "Metrics",
+    "MetricsOk",
+    "Bye",
+    "ByeOk",
+    "ProtocolError",
+    "JSON_CODEC",
+    "BINARY_CODEC",
+    "codec_for",
+    "decode_any",
+    "negotiate_codec",
     "encode_frame",
     "decode_body",
     "read_frame_sock",
     "MAX_FRAME_BYTES",
+    "N_COUNTERS",
     "PROTO_VERSION",
 ]

@@ -7,6 +7,14 @@ blocking ``send → await ack`` round trip is exactly the shape that lets
 the server's bounded queue push back on them (see
 :mod:`repro.collector.server`).
 
+Codec negotiation: the client's ``hello`` offers its acceptable wire
+codecs (``codec="auto"`` offers binary-then-JSON, ``codec="binary"``
+offers binary only, ``codec="json"`` offers nothing — the revision-1
+wire shape old servers expect); the server's ``hello_ok`` names the
+choice, and every subsequent frame on that connection is encoded with
+it.  Result frames on the binary codec are one ``struct`` pack — the
+11 counter deltas ride as fixed u64s, no per-field JSON encode.
+
 Reliability discipline:
 
 * every result frame carries a monotonically increasing per-device
@@ -31,55 +39,45 @@ from __future__ import annotations
 
 import socket
 import time
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, Iterable, Optional, Union
 
 import numpy as np
 
 from repro import faults
 from repro.faults import FaultPlan
+from repro.collector.config import CollectorConfig, RetryPolicy, shim_legacy_kwargs
+from repro.collector.frames import (
+    Ack,
+    Bye,
+    ByeOk,
+    Frame,
+    Hello,
+    HelloOk,
+    Metrics,
+    MetricsOk,
+    codec_for,
+)
 from repro.collector.framing import (
-    PROTO_VERSION,
     ConnectionClosed,
     FrameError,
     SessionResultPayload,
-    encode_frame,
-    read_frame_sock,
+    read_body_sock,
 )
+from repro.collector.frames import Result as ResultFrame
+from repro.collector.frames import decode_any
+
+__all__ = [
+    "ClientStats",
+    "CollectorClient",
+    "CollectorClientError",
+    "NetworkFaultInjector",
+    "RetryPolicy",  # relocated to repro.collector.config; re-exported here
+]
 
 
 class CollectorClientError(Exception):
     """A frame could not be delivered within the retry budget."""
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Jittered exponential backoff between delivery attempts.
-
-    Attempt ``k`` (0-based) sleeps
-    ``min(max_delay_s, base_delay_s * multiplier**k) * (1 + jitter_frac*u)``
-    with ``u`` uniform in ``[0, 1)`` from a seeded RNG — jitter
-    de-synchronizes a fleet of devices retrying into the same collector
-    without making any single device's schedule nondeterministic.
-    """
-
-    max_attempts: int = 8
-    base_delay_s: float = 0.05
-    max_delay_s: float = 2.0
-    multiplier: float = 2.0
-    jitter_frac: float = 0.5
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
-        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.jitter_frac < 0:
-            raise ValueError("delays and jitter must be non-negative")
-        if self.multiplier < 1.0:
-            raise ValueError("multiplier must be >= 1")
-
-    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
-        base = min(self.max_delay_s, self.base_delay_s * self.multiplier ** attempt)
-        return base * (1.0 + self.jitter_frac * float(rng.random()))
 
 
 @dataclass
@@ -129,6 +127,13 @@ class NetworkFaultInjector:
         return 0.0
 
 
+#: Legacy per-call keywords → the CollectorConfig field each one sets.
+_LEGACY_CLIENT_KWARGS = {
+    "retry": "retry",
+    "timeout_s": "timeout_s",
+}
+
+
 class CollectorClient:
     """One device's reliable stream of results into a collector.
 
@@ -140,8 +145,10 @@ class CollectorClient:
         fault_plan: a plan / profile name / ``None`` / ``"auto"``,
             resolved exactly like the attack-side argument; an enabled
             plan turns on :class:`NetworkFaultInjector`.
-        retry: the backoff schedule for failed deliveries.
-        timeout_s: socket timeout for connect/send/ack.
+        config: the :class:`~repro.collector.config.CollectorConfig`
+            supplying the wire codec, retry schedule and socket
+            timeout (the old ``retry=`` / ``timeout_s=`` keywords keep
+            working through a deprecation shim).
         sleep: injectable sleeper (tests pass a no-op to make backoff
             schedules instantaneous).
     """
@@ -151,18 +158,23 @@ class CollectorClient:
         endpoint,
         device_id: str,
         fault_plan: Union[FaultPlan, None, str] = None,
-        retry: RetryPolicy = RetryPolicy(),
-        timeout_s: float = 10.0,
+        config: Optional[CollectorConfig] = None,
         seed_offset: int = 0,
         sleep: Callable[[float], None] = time.sleep,
+        **legacy,
     ) -> None:
         kind = endpoint[0]
         if kind not in ("tcp", "unix"):
             raise ValueError(f"unknown endpoint kind {kind!r}")
+        config = shim_legacy_kwargs(
+            config, legacy, "CollectorClient", _LEGACY_CLIENT_KWARGS
+        )
         self.endpoint = tuple(endpoint)
         self.device_id = device_id
-        self.retry = retry
-        self.timeout_s = timeout_s
+        self.config = config
+        self.retry = config.retry
+        self.timeout_s = config.timeout_s
+        self.codec = config.codec
         self.sleep = sleep
         self.stats = ClientStats()
         plan = faults.resolve_plan(fault_plan)
@@ -171,10 +183,25 @@ class CollectorClient:
         )
         self._backoff_rng = np.random.default_rng((seed_offset, 0x8ACC0FF))
         self._sock: Optional[socket.socket] = None
+        self._wire = codec_for("json")
         self._connected_once = False
         self._seq = 0
 
+    @property
+    def wire_codec(self) -> str:
+        """The codec negotiated on the current connection (``json`` until hello)."""
+        return self._wire.name
+
     # -- connection -----------------------------------------------------
+
+    def _offered_codecs(self):
+        if self.codec == "json":
+            # offer nothing: the hello is byte-identical to a
+            # revision-1 client's, so old servers are none the wiser
+            return ()
+        if self.codec == "binary":
+            return ("binary",)
+        return ("binary", "json")
 
     def _connect(self) -> None:
         if self.endpoint[0] == "unix":
@@ -186,12 +213,17 @@ class CollectorClient:
         sock.settimeout(self.timeout_s)
         sock.connect(target)
         self._sock = sock
+        self._wire = codec_for("json")
         reply = self._roundtrip(
-            {"type": "hello", "device_id": self.device_id, "proto": PROTO_VERSION}
+            Hello(device_id=self.device_id, codecs=self._offered_codecs())
         )
-        if reply.get("type") != "hello_ok":
+        if not isinstance(reply, HelloOk):
             self._drop_connection()
             raise CollectorClientError(f"collector rejected hello: {reply}")
+        # an old server omits the codec field → json, which every
+        # policy accepts (codec="binary" is a preference, not a demand,
+        # matching the server side of negotiate_codec)
+        self._wire = codec_for(reply.codec)
 
     def _ensure_connected(self) -> None:
         if self._sock is None:
@@ -207,10 +239,11 @@ class CollectorClient:
             except OSError:
                 pass
             self._sock = None
+        self._wire = codec_for("json")
 
-    def _roundtrip(self, frame: Dict[str, object]) -> Dict[str, object]:
-        self._sock.sendall(encode_frame(frame))
-        return read_frame_sock(self._sock)
+    def _roundtrip(self, frame: Frame) -> Frame:
+        self._sock.sendall(self._wire.encode(frame))
+        return decode_any(read_body_sock(self._sock))
 
     # -- delivery -------------------------------------------------------
 
@@ -223,12 +256,7 @@ class CollectorClient:
         """
         seq = self._seq
         self._seq += 1
-        frame = {
-            "type": "result",
-            "device_id": self.device_id,
-            "seq": seq,
-            "payload": payload.to_dict(),
-        }
+        frame = ResultFrame(seq=seq, payload=payload)
         last_error: Optional[Exception] = None
         for attempt in range(self.retry.max_attempts):
             if attempt:
@@ -241,7 +269,7 @@ class CollectorClient:
                     self.stats.injected_drops += 1
                     self._drop_connection()
                     raise ConnectionResetError("injected connection drop (before send)")
-                self._sock.sendall(encode_frame(frame))
+                self._sock.sendall(self._wire.encode(frame))
                 self.stats.frames_sent += 1
                 if fault == "drop_after":
                     # the frame is on the wire but we sever before the
@@ -255,8 +283,8 @@ class CollectorClient:
                     if delay > 0:
                         self.stats.injected_slow_reads += 1
                         self.sleep(delay)
-                reply = read_frame_sock(self._sock)
-                if reply.get("type") != "ack" or reply.get("seq") != seq:
+                reply = decode_any(read_body_sock(self._sock))
+                if not isinstance(reply, Ack) or reply.seq != seq:
                     raise FrameError(f"expected ack for seq {seq}, got {reply}")
                 self.stats.acks_received += 1
                 return seq
@@ -286,8 +314,8 @@ class CollectorClient:
         """
         try:
             self._ensure_connected()
-            reply = self._roundtrip({"type": "metrics", "snapshot": snapshot})
-            if reply.get("type") != "metrics_ok":
+            reply = self._roundtrip(Metrics(snapshot=snapshot))
+            if not isinstance(reply, MetricsOk):
                 raise FrameError(f"unexpected metrics reply: {reply}")
         except (OSError, FrameError, ConnectionClosed):
             self._drop_connection()
@@ -298,15 +326,16 @@ class CollectorClient:
             return
         try:
             self._ensure_connected()
-            self._roundtrip(
-                {
-                    "type": "bye",
-                    "device_id": self.device_id,
-                    "sent": self.stats.frames_sent,
-                    "retries": self.stats.retries,
-                    "reconnects": self.stats.reconnects,
-                }
+            reply = self._roundtrip(
+                Bye(
+                    device_id=self.device_id,
+                    sent=self.stats.frames_sent,
+                    retries=self.stats.retries,
+                    reconnects=self.stats.reconnects,
+                )
             )
+            if not isinstance(reply, ByeOk):
+                raise FrameError(f"unexpected bye reply: {reply}")
         except (OSError, FrameError, ConnectionClosed, CollectorClientError):
             pass
         finally:

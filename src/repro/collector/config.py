@@ -1,0 +1,189 @@
+"""The unified collector configuration: one frozen dataclass for the tier.
+
+Before this module existed, every collector entry point —
+:class:`~repro.collector.server.CollectorServer`,
+:class:`~repro.collector.client.CollectorClient`,
+:class:`~repro.collector.fleet.FleetDriver`, and
+:func:`repro.api.run_fleet` — grew its own pile of transport keywords
+(``transport=``, ``unix_path=``, ``queue_size=``, ``retry=``, ...), and
+threading a new knob meant touching all four signatures.
+:class:`CollectorConfig` collapses them into one serializable object,
+mirroring :class:`~repro.api.AttackConfig`: construct it once, pass it
+everywhere, round-trip it through :meth:`to_dict` / :meth:`from_dict`
+(manifests embed it the same way they embed the attack config).
+
+The old per-call keywords still work through a one-release deprecation
+shim (:func:`repro.core.results.warn_deprecated`), so existing callers
+keep running while they migrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.collector.framing import MAX_FRAME_BYTES
+
+#: Codec selection values accepted by :attr:`CollectorConfig.codec`.
+CODECS = ("auto", "binary", "json")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff between delivery attempts.
+
+    Attempt ``k`` (0-based) sleeps
+    ``min(max_delay_s, base_delay_s * multiplier**k) * (1 + jitter_frac*u)``
+    with ``u`` uniform in ``[0, 1)`` from a seeded RNG — jitter
+    de-synchronizes a fleet of devices retrying into the same collector
+    without making any single device's schedule nondeterministic.
+    """
+
+    max_attempts: int = 8
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.jitter_frac < 0:
+            raise ValueError("delays and jitter must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        base = min(self.max_delay_s, self.base_delay_s * self.multiplier ** attempt)
+        return base * (1.0 + self.jitter_frac * float(rng.random()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RetryPolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RetryPolicy fields: {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    """Every knob of the collector tier in one place.
+
+    Consumed by the server, the client, the fleet driver and the facade;
+    serializes round-trip through :meth:`to_dict` / :meth:`from_dict`
+    (the nested retry policy serializes as its field dict).
+
+    Attributes:
+        transport: ``"tcp"`` or ``"unix"``.
+        host / port: TCP bind/connect address (``port=0`` binds free).
+        unix_path: filesystem path for the unix-socket transport.
+        codec: wire codec policy — ``"auto"`` negotiates the binary
+            frame codec when both ends support it and falls back to
+            JSON, ``"binary"`` prefers/requires binary (a server stays
+            compatible with JSON-only clients; a client errors if the
+            server cannot speak binary), ``"json"`` forces the
+            length-prefixed JSON wire format of protocol revision 1.
+        queue_size: the server's in-flight result bound (backpressure).
+        read_timeout_s: server-side idle read timeout per connection.
+        drain_timeout_s: how long a stopping server waits for in-flight
+            connections.
+        timeout_s: client-side socket timeout for connect/send/ack.
+        max_frame_bytes: hard cap on one frame body; a length prefix
+            beyond it is a protocol error (``FrameTooLarge``), never an
+            allocation request.
+        retry: the client's backoff schedule for failed deliveries.
+    """
+
+    transport: str = "tcp"
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: Optional[str] = None
+    codec: str = "auto"
+    queue_size: int = 256
+    read_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    timeout_s: float = 10.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    retry: RetryPolicy = RetryPolicy()
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("tcp", "unix"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.transport == "unix" and not self.unix_path:
+            raise ValueError("unix transport requires unix_path")
+        if self.codec not in CODECS:
+            raise ValueError(f"codec must be one of {CODECS}, got {self.codec!r}")
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if self.read_timeout_s <= 0 or self.drain_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be >= 1")
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError("retry must be a RetryPolicy")
+
+    def with_overrides(self, **overrides) -> "CollectorConfig":
+        """A copy with ``overrides`` applied (the deprecation-shim seam)."""
+        return replace(self, **overrides) if overrides else self
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "retry":
+                value = value.to_dict()
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CollectorConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CollectorConfig fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        retry = kwargs.get("retry")
+        if isinstance(retry, Mapping):
+            kwargs["retry"] = RetryPolicy.from_dict(retry)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def shim_legacy_kwargs(
+    config: Optional[CollectorConfig],
+    legacy: Dict[str, object],
+    owner: str,
+    allowed: Mapping[str, str],
+) -> CollectorConfig:
+    """Fold deprecated per-call keywords into a :class:`CollectorConfig`.
+
+    ``allowed`` maps each legacy keyword to the config field it sets.
+    Every legacy keyword actually passed emits the one-release
+    :func:`~repro.core.results.warn_deprecated` warning; anything else
+    is a :class:`TypeError`, exactly as an unknown keyword would be.
+    """
+    from repro.core.results import warn_deprecated
+
+    unknown = set(legacy) - set(allowed)
+    if unknown:
+        raise TypeError(
+            f"{owner}() got unexpected keyword arguments: {sorted(unknown)}"
+        )
+    overrides = {}
+    for key, value in legacy.items():
+        field_name = allowed[key]
+        warn_deprecated(
+            f"{owner}({key}=...)",
+            f"{owner}(config=CollectorConfig({field_name}=...))",
+        )
+        overrides[field_name] = value
+    return (config or CollectorConfig()).with_overrides(**overrides)

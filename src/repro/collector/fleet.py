@@ -11,6 +11,14 @@ retry/dedup discipline.  The product is a :class:`FleetReport`: the
 ingested payloads, the loss/duplicate/retry accounting, and the merged
 run manifest.
 
+Every payload carries the session's ground-truth **counter deltas** —
+the cumulative values of the 11 selected performance counters at the
+end of the victim trace, in Table-1 order — which is exactly the
+fixed-width block the binary wire codec ships as one struct pack (see
+:mod:`repro.collector.frames`).  The collector tier's transport,
+codec, and backpressure knobs all come from one
+:class:`~repro.collector.config.CollectorConfig`.
+
 Device identity and seeding: device ``d`` is ``device-{d:04d}`` and
 seeds everything (victim traces, attack RNG, network fault stream,
 backoff jitter) from ``seed + 1000*d``, so a fleet run is deterministic
@@ -29,14 +37,14 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.collector.client import (
     ClientStats,
     CollectorClient,
     CollectorClientError,
-    RetryPolicy,
 )
+from repro.collector.config import CollectorConfig, RetryPolicy, shim_legacy_kwargs
 from repro.collector.framing import SessionResultPayload
 from repro.collector.server import CollectorHandle
 from repro.obs import MetricsRegistry, RunManifest
@@ -44,6 +52,32 @@ from repro.obs import MetricsRegistry, RunManifest
 #: Seed stride between devices — wide enough that per-session offsets
 #: within a device can never collide with the next device's block.
 DEVICE_SEED_STRIDE = 1000
+
+#: Fleet runs default to a fast backoff: simulated devices should not
+#: serialize a test run on wall-clock sleeps.
+FLEET_RETRY = RetryPolicy(base_delay_s=0.01, max_delay_s=0.25)
+
+#: Legacy per-call keywords → the CollectorConfig field each one sets.
+_LEGACY_FLEET_KWARGS = {
+    "transport": "transport",
+    "unix_path": "unix_path",
+    "queue_size": "queue_size",
+    "read_timeout_s": "read_timeout_s",
+    "retry": "retry",
+}
+
+
+def trace_counter_deltas(trace) -> Tuple[int, ...]:
+    """The session's cumulative counter values in Table-1 order.
+
+    This is the ground-truth 11-slot block a device reports with each
+    result — the same fixed-width layout the binary codec packs as
+    ``11×u64``.
+    """
+    from repro.gpu.timeline import COUNTER_ORDER
+
+    values = trace.timeline.values_at(trace.timeline.end_time_s)
+    return tuple(int(values.get(cid, 0)) for cid in COUNTER_ORDER)
 
 
 @dataclass
@@ -74,6 +108,7 @@ class FleetReport:
     reconnects: int
     wall_s: float
     ingest_rate: float
+    codec_counts: Dict[str, int] = field(default_factory=dict)
     results: List[SessionResultPayload] = field(default_factory=list)
     outcomes: List[DeviceOutcome] = field(default_factory=list)
     manifest: Optional[RunManifest] = None
@@ -96,11 +131,11 @@ class FleetDriver:
             drives *both* the KGSL-layer faults inside each device run
             and the network-layer drops/slow-reads on the uplink.
         workers: per-device ``run_sessions`` workers (processes).
-        transport: ``"tcp"`` or ``"unix"`` (unix needs ``unix_path``).
-        queue_size: the collector's backpressure bound.
-        retry: client backoff schedule (default is fast — simulated
-            devices should not serialize a test run on wall-clock
-            sleeps).
+        collector: the :class:`~repro.collector.config.CollectorConfig`
+            for the whole tier — transport, wire codec, backpressure
+            bound, retry schedule.  The old per-call keywords
+            (``transport=``, ``queue_size=``, ``retry=``, ...) keep
+            working through a deprecation shim.
         metrics: optional caller registry; when enabled, each device
             also records a device-side registry, ships its snapshot, and
             the merged collector registry is folded back into ``metrics``.
@@ -118,13 +153,10 @@ class FleetDriver:
         config=None,
         seed: int = 7,
         workers: int = 1,
-        transport: str = "tcp",
-        unix_path: Optional[str] = None,
-        queue_size: int = 256,
-        read_timeout_s: float = 30.0,
-        retry: RetryPolicy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.25),
+        collector: Optional[CollectorConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         device_threads: Optional[int] = None,
+        **legacy,
     ) -> None:
         if devices < 1:
             raise ValueError("devices must be >= 1")
@@ -134,6 +166,11 @@ class FleetDriver:
             from repro.api import AttackConfig
 
             config = AttackConfig()
+        if collector is None:
+            collector = CollectorConfig(retry=FLEET_RETRY)
+        collector = shim_legacy_kwargs(
+            collector, legacy, "FleetDriver", _LEGACY_FLEET_KWARGS
+        )
         self.store = store
         self.device_config = device_config
         self.target = target
@@ -143,11 +180,7 @@ class FleetDriver:
         self.config = config
         self.seed = seed
         self.workers = workers
-        self.transport = transport
-        self.unix_path = unix_path
-        self.queue_size = queue_size
-        self.read_timeout_s = read_timeout_s
-        self.retry = retry
+        self.collector = collector
         self.metrics = metrics
         self.device_threads = device_threads
 
@@ -186,7 +219,7 @@ class FleetDriver:
             endpoint,
             device_id,
             fault_plan=self.config.resolved_fault_plan(),
-            retry=self.retry,
+            config=self.collector,
             seed_offset=dev_seed,
         )
         with client:
@@ -197,6 +230,7 @@ class FleetDriver:
                     session_index=i,
                     seed=dev_seed + i,
                     expected=self.credential,
+                    deltas=trace_counter_deltas(traces[i]),
                 )
                 if payload.exact:
                     exact += 1
@@ -218,12 +252,7 @@ class FleetDriver:
 
     def run(self) -> FleetReport:
         """Stand up the collector, run every device, drain, and report."""
-        handle = CollectorHandle(
-            transport=self.transport,
-            unix_path=self.unix_path,
-            queue_size=self.queue_size,
-            read_timeout_s=self.read_timeout_s,
-        )
+        handle = CollectorHandle(self.collector)
         endpoint = handle.start()
         started = time.perf_counter()
         outcomes: List[DeviceOutcome] = []
@@ -262,6 +291,10 @@ class FleetDriver:
                 "collector.sessions_degraded",
             )
         }
+        codec_counts = {
+            name: server.registry.counter(f"collector.codec.{name}").value
+            for name in ("binary", "json")
+        }
         sessions_total = self.devices * self.sessions_per_device
         ingested = counters["collector.sessions_ingested"]
         results = sorted(
@@ -279,6 +312,7 @@ class FleetDriver:
             reconnects=sum(o.stats.reconnects for o in outcomes),
             wall_s=wall,
             ingest_rate=ingested / wall if wall > 0 else 0.0,
+            codec_counts=codec_counts,
             results=results,
             outcomes=outcomes,
         )
@@ -287,6 +321,7 @@ class FleetDriver:
             "devices": self.devices,
             "sessions": sessions_total,
             "workers": self.workers,
+            "codec": self.collector.codec,
         }
         if self.metrics is not None and self.metrics.enabled:
             # fold the collector's registry (which already absorbed the

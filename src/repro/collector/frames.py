@@ -1,0 +1,517 @@
+"""Typed collector frames and the two wire codecs (JSON and binary).
+
+Every message on a collector connection is one of nine frame kinds,
+modeled here as frozen dataclasses — :class:`Hello`, :class:`HelloOk`,
+:class:`Result`, :class:`Ack`, :class:`Metrics`, :class:`MetricsOk`,
+:class:`Bye`, :class:`ByeOk`, :class:`ProtocolError` — instead of the
+ad-hoc ``{"type": ...}`` dicts that previously leaked through
+``framing.py``/``server.py``/``client.py``.  Each codec exposes one
+``encode`` / ``decode`` entry point; :func:`decode_any` dispatches on
+the first body byte, so a server never needs per-connection decode
+state to support mixed fleets.
+
+Wire formats
+------------
+
+**JSON** (protocol revision 1, the compatibility fallback): the body is
+a UTF-8 JSON object whose ``type`` field names the kind.  A JSON body
+always starts with ``{`` (0x7B).
+
+**Binary** (negotiated): the body's first byte is a kind tag in
+0x81–0x87 — bytes no JSON object can start with.  The hot frame is
+``Result``: one :class:`struct.Struct` pack of a fixed header
+
+====== ======== ===========================================
+offset format   field
+====== ======== ===========================================
+0      ``B``    tag ``0x81``
+1      ``B``    flags (bit 0 degraded, bit 1 exact present,
+                bit 2 exact true, bit 3 deltas present,
+                bit 4 extra JSON present)
+2      ``>H``   counter mask (11 bits)
+4      ``>I``   seq
+8      ``>I``   session_index
+12     ``>q``   seed
+20     ``>I``   n_keys
+24     ``>I``   device_id byte length
+28     ``>I``   text byte length
+32     ``>I``   extra byte length
+36     ``>11Q`` the 11 counter deltas (Table-1 order)
+====== ======== ===========================================
+
+followed by the UTF-8 ``device_id`` and ``text`` bytes and an optional
+JSON tail (``metrics`` / ``meta`` — cold fields that stay out of the
+hot pack).  The counter deltas ship as 11 fixed u64s plus the mask —
+no per-field JSON encode on the fleet's hot path.
+
+``hello`` / ``hello_ok`` are **always JSON**, whatever was negotiated:
+they *are* the negotiation.  A client offers ``codecs`` in its hello
+(preference order); the server answers ``hello_ok`` with the chosen
+``codec``; either side omitting the field means revision-1 JSON, which
+keeps old clients and old servers mutually intelligible.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.collector.framing import (
+    N_COUNTERS,
+    PROTO_VERSION,
+    FrameError,
+    SessionResultPayload,
+    prefix_body,
+)
+
+#: Binary body kind tags (first body byte; JSON bodies start with 0x7B).
+TAG_RESULT = 0x81
+TAG_ACK = 0x82
+TAG_METRICS = 0x83
+TAG_BYE = 0x84
+TAG_METRICS_OK = 0x85
+TAG_BYE_OK = 0x86
+TAG_ERROR = 0x87
+
+_FLAG_DEGRADED = 1
+_FLAG_EXACT_PRESENT = 2
+_FLAG_EXACT_TRUE = 4
+_FLAG_HAS_DELTAS = 8
+_FLAG_HAS_EXTRA = 16
+
+#: The one pack of a binary result: tag, flags, mask, seq, session_index,
+#: seed, n_keys, three tail lengths, 11 counter deltas.
+_RESULT = struct.Struct(">BBHIIqIIII11Q")
+_ACK = struct.Struct(">BI")
+
+_U32_MAX = 2 ** 32 - 1
+_U64_MAX = 2 ** 64 - 1
+
+
+# -- the frame kinds ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Connection opener; carries the protocol revision and codec offer."""
+
+    device_id: str
+    proto: int = PROTO_VERSION
+    codecs: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class HelloOk:
+    """Server's hello reply; ``codec`` is the negotiated wire codec."""
+
+    codec: str = "json"
+
+
+@dataclass(frozen=True)
+class Result:
+    """One session's outcome, sequenced for exactly-once delivery."""
+
+    seq: int
+    payload: SessionResultPayload
+
+    @property
+    def device_id(self) -> str:
+        return self.payload.device_id
+
+
+@dataclass(frozen=True)
+class Ack:
+    seq: int
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """A device-side ``MetricsRegistry.snapshot()`` for merging."""
+
+    snapshot: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MetricsOk:
+    pass
+
+
+@dataclass(frozen=True)
+class Bye:
+    """End-of-stream tally a device reports before disconnecting."""
+
+    device_id: str
+    sent: int = 0
+    retries: int = 0
+    reconnects: int = 0
+
+
+@dataclass(frozen=True)
+class ByeOk:
+    pass
+
+
+@dataclass(frozen=True)
+class ProtocolError:
+    """Server-to-client rejection (proto mismatch, oversized frame, ...)."""
+
+    error: str
+
+
+Frame = Union[Hello, HelloOk, Result, Ack, Metrics, MetricsOk, Bye, ByeOk, ProtocolError]
+
+
+# -- JSON codec ---------------------------------------------------------
+
+
+def frame_to_dict(frame: Frame) -> Dict[str, object]:
+    """The revision-1 JSON object form of any frame."""
+    if isinstance(frame, Hello):
+        obj: Dict[str, object] = {
+            "type": "hello",
+            "device_id": frame.device_id,
+            "proto": frame.proto,
+        }
+        if frame.codecs:
+            obj["codecs"] = list(frame.codecs)
+        return obj
+    if isinstance(frame, HelloOk):
+        obj = {"type": "hello_ok"}
+        if frame.codec != "json":
+            obj["codec"] = frame.codec
+        return obj
+    if isinstance(frame, Result):
+        return {
+            "type": "result",
+            "device_id": frame.payload.device_id,
+            "seq": frame.seq,
+            "payload": frame.payload.to_dict(),
+        }
+    if isinstance(frame, Ack):
+        return {"type": "ack", "seq": frame.seq}
+    if isinstance(frame, Metrics):
+        return {"type": "metrics", "snapshot": frame.snapshot}
+    if isinstance(frame, MetricsOk):
+        return {"type": "metrics_ok"}
+    if isinstance(frame, Bye):
+        return {
+            "type": "bye",
+            "device_id": frame.device_id,
+            "sent": frame.sent,
+            "retries": frame.retries,
+            "reconnects": frame.reconnects,
+        }
+    if isinstance(frame, ByeOk):
+        return {"type": "bye_ok"}
+    if isinstance(frame, ProtocolError):
+        return {"type": "error", "error": frame.error}
+    raise TypeError(f"not a frame: {frame!r}")
+
+
+def frame_from_dict(obj: Dict[str, object]) -> Frame:
+    """Parse the revision-1 JSON object form into a typed frame."""
+    kind = obj.get("type")
+    try:
+        if kind == "hello":
+            return Hello(
+                device_id=str(obj.get("device_id", "?")),
+                proto=int(obj.get("proto", -1)),
+                codecs=tuple(str(c) for c in obj.get("codecs", ())),
+            )
+        if kind == "hello_ok":
+            return HelloOk(codec=str(obj.get("codec", "json")))
+        if kind == "result":
+            seq = obj.get("seq")
+            payload = obj.get("payload")
+            if not isinstance(seq, int) or not isinstance(payload, dict):
+                raise FrameError(f"malformed result frame: {obj!r}")
+            return Result(seq=seq, payload=SessionResultPayload.from_dict(payload))
+        if kind == "ack":
+            seq = obj.get("seq")
+            if not isinstance(seq, int):
+                raise FrameError(f"malformed ack frame: {obj!r}")
+            return Ack(seq=seq)
+        if kind == "metrics":
+            snapshot = obj.get("snapshot")
+            if not isinstance(snapshot, dict):
+                raise FrameError(f"malformed metrics frame: {obj!r}")
+            return Metrics(snapshot=snapshot)
+        if kind == "metrics_ok":
+            return MetricsOk()
+        if kind == "bye":
+            return Bye(
+                device_id=str(obj.get("device_id", "?")),
+                sent=int(obj.get("sent", 0)),
+                retries=int(obj.get("retries", 0)),
+                reconnects=int(obj.get("reconnects", 0)),
+            )
+        if kind == "bye_ok":
+            return ByeOk()
+        if kind == "error":
+            return ProtocolError(error=str(obj.get("error", "")))
+    except FrameError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"malformed {kind} frame: {exc}") from exc
+    raise FrameError(f"unknown frame type {kind!r}")
+
+
+class JsonCodec:
+    """Protocol revision 1: every body is one UTF-8 JSON object."""
+
+    name = "json"
+
+    def encode(self, frame: Frame, max_bytes: Optional[int] = None) -> bytes:
+        body = json.dumps(
+            frame_to_dict(frame), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        return prefix_body(body) if max_bytes is None else prefix_body(body, max_bytes)
+
+    def decode(self, body: bytes) -> Frame:
+        try:
+            obj = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise FrameError("frame body must be a JSON object")
+        return frame_from_dict(obj)
+
+
+# -- binary codec -------------------------------------------------------
+
+
+def _encode_result_binary(frame: Result) -> bytes:
+    p = frame.payload
+    device_b = p.device_id.encode("utf-8")
+    text_b = p.text.encode("utf-8")
+    extra: Dict[str, object] = {}
+    if p.metrics is not None:
+        extra["metrics"] = p.metrics
+    if p.meta:
+        extra["meta"] = p.meta
+    extra_b = (
+        json.dumps(extra, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        if extra
+        else b""
+    )
+    flags = 0
+    if p.degraded:
+        flags |= _FLAG_DEGRADED
+    if p.exact is not None:
+        flags |= _FLAG_EXACT_PRESENT
+        if p.exact:
+            flags |= _FLAG_EXACT_TRUE
+    deltas = p.deltas
+    if deltas is not None:
+        flags |= _FLAG_HAS_DELTAS
+    else:
+        deltas = (0,) * N_COUNTERS
+    if extra_b:
+        flags |= _FLAG_HAS_EXTRA
+    if not 0 <= frame.seq <= _U32_MAX:
+        raise FrameError(f"seq {frame.seq} does not fit u32")
+    if not 0 <= p.session_index <= _U32_MAX:
+        raise FrameError(f"session_index {p.session_index} does not fit u32")
+    if not 0 <= p.n_keys <= _U32_MAX:
+        raise FrameError(f"n_keys {p.n_keys} does not fit u32")
+    if any(v > _U64_MAX for v in deltas):
+        raise FrameError("counter delta does not fit u64")
+    header = _RESULT.pack(
+        TAG_RESULT,
+        flags,
+        p.mask,
+        frame.seq,
+        p.session_index,
+        p.seed,
+        p.n_keys,
+        len(device_b),
+        len(text_b),
+        len(extra_b),
+        *deltas,
+    )
+    return header + device_b + text_b + extra_b
+
+
+def _decode_result_binary(body: bytes) -> Result:
+    if len(body) < _RESULT.size:
+        raise FrameError(f"binary result header truncated ({len(body)} bytes)")
+    fields = _RESULT.unpack_from(body)
+    (_tag, flags, mask, seq, session_index, seed, n_keys,
+     device_len, text_len, extra_len) = fields[:10]
+    deltas = fields[10:]
+    expected = _RESULT.size + device_len + text_len + extra_len
+    if len(body) != expected:
+        raise FrameError(
+            f"binary result length mismatch: {len(body)} bytes, expected {expected}"
+        )
+    offset = _RESULT.size
+    try:
+        device_id = body[offset:offset + device_len].decode("utf-8")
+        offset += device_len
+        text = body[offset:offset + text_len].decode("utf-8")
+        offset += text_len
+    except UnicodeDecodeError as exc:
+        raise FrameError(f"binary result strings are not UTF-8: {exc}") from exc
+    metrics = None
+    meta: Dict[str, object] = {}
+    if flags & _FLAG_HAS_EXTRA:
+        try:
+            extra = json.loads(body[offset:offset + extra_len].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise FrameError(f"binary result extra tail is not JSON: {exc}") from exc
+        if not isinstance(extra, dict):
+            raise FrameError("binary result extra tail must be a JSON object")
+        metrics = extra.get("metrics")
+        meta = extra.get("meta", {})
+    exact = bool(flags & _FLAG_EXACT_TRUE) if flags & _FLAG_EXACT_PRESENT else None
+    try:
+        payload = SessionResultPayload(
+            device_id=device_id,
+            session_index=session_index,
+            text=text,
+            n_keys=n_keys,
+            degraded=bool(flags & _FLAG_DEGRADED),
+            exact=exact,
+            seed=seed,
+            deltas=tuple(deltas) if flags & _FLAG_HAS_DELTAS else None,
+            mask=mask,
+            metrics=metrics,
+            meta=meta,
+        )
+    except (ValueError, TypeError) as exc:
+        raise FrameError(f"binary result payload invalid: {exc}") from exc
+    return Result(seq=seq, payload=payload)
+
+
+def _json_tail_frame(tag: int, obj: Dict[str, object]) -> bytes:
+    return bytes([tag]) + json.dumps(
+        obj, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+def _decode_json_tail(body: bytes, what: str) -> Dict[str, object]:
+    try:
+        obj = json.loads(body[1:].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"binary {what} tail is not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError(f"binary {what} tail must be a JSON object")
+    return obj
+
+
+class BinaryCodec:
+    """The struct-packed wire codec (hello frames stay JSON by design)."""
+
+    name = "binary"
+
+    def encode(self, frame: Frame, max_bytes: Optional[int] = None) -> bytes:
+        if isinstance(frame, (Hello, HelloOk)):
+            # the negotiation itself must be readable pre-negotiation
+            return JSON_CODEC.encode(frame, max_bytes)
+        if isinstance(frame, Result):
+            body = _encode_result_binary(frame)
+        elif isinstance(frame, Ack):
+            if not 0 <= frame.seq <= _U32_MAX:
+                raise FrameError(f"seq {frame.seq} does not fit u32")
+            body = _ACK.pack(TAG_ACK, frame.seq)
+        elif isinstance(frame, Metrics):
+            body = _json_tail_frame(TAG_METRICS, frame.snapshot)
+        elif isinstance(frame, MetricsOk):
+            body = bytes([TAG_METRICS_OK])
+        elif isinstance(frame, Bye):
+            body = _json_tail_frame(
+                TAG_BYE,
+                {
+                    "device_id": frame.device_id,
+                    "sent": frame.sent,
+                    "retries": frame.retries,
+                    "reconnects": frame.reconnects,
+                },
+            )
+        elif isinstance(frame, ByeOk):
+            body = bytes([TAG_BYE_OK])
+        elif isinstance(frame, ProtocolError):
+            body = bytes([TAG_ERROR]) + frame.error.encode("utf-8")
+        else:
+            raise TypeError(f"not a frame: {frame!r}")
+        return prefix_body(body) if max_bytes is None else prefix_body(body, max_bytes)
+
+    def decode(self, body: bytes) -> Frame:
+        return decode_any(body)
+
+
+JSON_CODEC = JsonCodec()
+BINARY_CODEC = BinaryCodec()
+
+#: Codec objects by negotiated name.
+WIRE_CODECS = {"json": JSON_CODEC, "binary": BINARY_CODEC}
+
+
+def codec_for(name: str):
+    """The codec object for a negotiated codec name."""
+    try:
+        return WIRE_CODECS[name]
+    except KeyError:
+        raise FrameError(f"unknown wire codec {name!r}") from None
+
+
+def decode_any(body: bytes) -> Frame:
+    """Decode one frame body of either codec, dispatching on byte 0.
+
+    JSON objects start with ``{`` (0x7B); binary bodies start with a
+    kind tag in 0x81–0x87.  This is what lets one server read binary
+    and JSON clients on adjacent connections with no decode state.
+    """
+    if not body:
+        raise FrameError("empty frame body")
+    first = body[0]
+    if first == 0x7B:  # '{'
+        return JSON_CODEC.decode(body)
+    if first == TAG_RESULT:
+        return _decode_result_binary(body)
+    if first == TAG_ACK:
+        if len(body) != _ACK.size:
+            raise FrameError(f"binary ack must be {_ACK.size} bytes, got {len(body)}")
+        _tag, seq = _ACK.unpack(body)
+        return Ack(seq=seq)
+    if first == TAG_METRICS:
+        return Metrics(snapshot=_decode_json_tail(body, "metrics"))
+    if first == TAG_BYE:
+        obj = _decode_json_tail(body, "bye")
+        try:
+            return Bye(
+                device_id=str(obj.get("device_id", "?")),
+                sent=int(obj.get("sent", 0)),
+                retries=int(obj.get("retries", 0)),
+                reconnects=int(obj.get("reconnects", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise FrameError(f"binary bye tail invalid: {exc}") from exc
+    if first == TAG_METRICS_OK:
+        return MetricsOk()
+    if first == TAG_BYE_OK:
+        return ByeOk()
+    if first == TAG_ERROR:
+        try:
+            return ProtocolError(error=body[1:].decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise FrameError(f"binary error tail is not UTF-8: {exc}") from exc
+    raise FrameError(f"unknown frame leading byte 0x{first:02x}")
+
+
+def negotiate_codec(offered: Tuple[str, ...], policy: str) -> str:
+    """The server side of codec negotiation.
+
+    ``offered`` is the client hello's ``codecs`` tuple (empty for
+    revision-1 clients); ``policy`` is the server's configured codec.
+    Servers never *require* binary — a JSON-only client must always
+    complete its run — so ``"binary"`` and ``"auto"`` differ only in
+    preference order against a multi-codec client.
+    """
+    if policy == "json" or not offered:
+        return "json"
+    if "binary" in offered:
+        return "binary"
+    return "json"

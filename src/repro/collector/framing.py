@@ -1,32 +1,27 @@
-"""Wire format of the fleet collector: length-prefixed JSON frames.
+"""Byte-level transport of the fleet collector: length-prefixed frames.
 
 Every message on a collector connection — in either direction — is one
 *frame*: a 4-byte big-endian unsigned length followed by that many bytes
-of UTF-8 JSON encoding one object.  The frame ``type`` field selects the
-message kind:
+of frame *body*.  Two body encodings share the wire:
 
-client → server
-    * ``hello``   — opens a device stream (``device_id``, ``proto``);
-    * ``result``  — one :class:`SessionResultPayload` under a
-      per-device ``seq`` number (the retry/dedup key);
-    * ``metrics`` — a device-side ``MetricsRegistry.snapshot()`` to fold
-      into the collector's run registry;
-    * ``bye``     — closes the stream and reports client-side tallies
-      (frames sent, retries, reconnects).
+* **JSON** (protocol revision 1, the compatibility fallback): UTF-8
+  JSON encoding one object whose ``type`` field selects the message
+  kind.  A JSON body always starts with ``{`` (0x7B).
+* **binary** (negotiated in the ``hello`` exchange): a struct-packed
+  body whose first byte is a kind tag in the 0x80–0x9F range — a value
+  no JSON object can start with, so the two encodings are
+  self-describing and can interleave on one connection.
 
-server → client
-    * ``hello_ok`` / ``ack`` / ``metrics_ok`` / ``bye_ok`` — one reply
-      per request frame; ``ack`` echoes the result's ``seq``.
+The typed frame classes and both codecs live in
+:mod:`repro.collector.frames`; this module owns the transport layer
+(length prefixes, size caps, exact reads) and the serializable
+:class:`SessionResultPayload`.
 
-The protocol is deliberately request/response per frame: a client knows
-a result is durable exactly when its ``ack`` arrives, which is what
-makes resend-until-acked safe — the server deduplicates resends by
-``(device_id, seq)``, so a lost ack costs one duplicate frame, never a
-duplicate *result*.
-
-Length prefixes are capped (:data:`MAX_FRAME_BYTES`); an oversized or
-non-JSON frame raises :class:`FrameError`, which the server counts as
-``collector.malformed_frames`` and answers by closing the connection.
+Length prefixes are capped (:data:`MAX_FRAME_BYTES`); an oversized
+prefix raises :class:`FrameTooLarge` and a peer closing mid-frame
+raises :class:`FrameError` — both are *clean protocol errors* the
+server answers by counting ``collector.frames.rejected`` and closing
+the connection, never a raw ``asyncio.IncompleteReadError`` traceback.
 """
 
 from __future__ import annotations
@@ -35,14 +30,18 @@ import json
 import socket
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 #: Protocol revision carried in the ``hello`` frame.
 PROTO_VERSION = 1
 
-#: Hard cap on one frame's JSON body; a length prefix beyond this is
+#: Hard cap on one frame's body; a length prefix beyond this is
 #: treated as a corrupt stream, not an allocation request.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Number of fixed counter-delta slots in a result payload — the 11
+#: performance counters of the paper's Table 1.
+N_COUNTERS = 11
 
 _LEN = struct.Struct(">I")
 
@@ -51,20 +50,33 @@ class FrameError(Exception):
     """A malformed, oversized, or truncated frame."""
 
 
+class FrameTooLarge(FrameError):
+    """A length prefix above the frame-size cap (a corrupt or hostile peer)."""
+
+
+class FrameTruncated(FrameError):
+    """The peer closed the connection in the middle of a frame."""
+
+
 class ConnectionClosed(FrameError):
     """The peer closed the connection cleanly between frames."""
 
 
 def encode_frame(obj: Mapping[str, object]) -> bytes:
-    """One mapping as a length-prefixed JSON frame."""
+    """One mapping as a length-prefixed JSON frame (revision-1 wire form)."""
     body = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return prefix_body(body)
+
+
+def prefix_body(body: bytes, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Wrap an encoded frame body in its length prefix, enforcing the cap."""
+    if len(body) > max_bytes:
+        raise FrameTooLarge(f"frame body of {len(body)} bytes exceeds {max_bytes}")
     return _LEN.pack(len(body)) + body
 
 
 def decode_body(body: bytes) -> Dict[str, object]:
-    """The JSON object inside one frame body."""
+    """The JSON object inside one JSON frame body."""
     try:
         obj = json.loads(body.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
@@ -80,15 +92,17 @@ def parse_length(prefix: bytes, max_bytes: int = MAX_FRAME_BYTES) -> int:
         raise FrameError(f"truncated length prefix ({len(prefix)} bytes)")
     (length,) = _LEN.unpack(prefix)
     if length > max_bytes:
-        raise FrameError(f"frame length {length} exceeds cap {max_bytes}")
+        raise FrameTooLarge(f"frame length {length} exceeds cap {max_bytes}")
     return length
 
 
-async def read_frame_async(reader, max_bytes: int = MAX_FRAME_BYTES) -> Dict[str, object]:
-    """Read one frame from an :class:`asyncio.StreamReader`.
+async def read_body_async(reader, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Read one frame body from an :class:`asyncio.StreamReader`.
 
-    Raises :class:`ConnectionClosed` on clean EOF between frames and
-    :class:`FrameError` on EOF mid-frame or a corrupt prefix/body.
+    Raises :class:`ConnectionClosed` on clean EOF between frames,
+    :class:`FrameTooLarge` on an oversized prefix, and
+    :class:`FrameTruncated` on EOF mid-frame — never the raw
+    ``asyncio.IncompleteReadError``.
     """
     import asyncio
 
@@ -97,17 +111,21 @@ async def read_frame_async(reader, max_bytes: int = MAX_FRAME_BYTES) -> Dict[str
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             raise ConnectionClosed("peer closed between frames") from exc
-        raise FrameError("connection closed inside a length prefix") from exc
+        raise FrameTruncated("connection closed inside a length prefix") from exc
     length = parse_length(prefix, max_bytes)
     try:
-        body = await reader.readexactly(length)
+        return await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
-        raise FrameError("connection closed inside a frame body") from exc
-    return decode_body(body)
+        raise FrameTruncated("connection closed inside a frame body") from exc
 
 
-def read_frame_sock(sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES) -> Dict[str, object]:
-    """Read one frame from a blocking socket (the client side)."""
+async def read_frame_async(reader, max_bytes: int = MAX_FRAME_BYTES) -> Dict[str, object]:
+    """Read one JSON frame from an :class:`asyncio.StreamReader` (legacy)."""
+    return decode_body(await read_body_async(reader, max_bytes))
+
+
+def read_body_sock(sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Read one frame body from a blocking socket (the client side)."""
 
     def read_exactly(n: int) -> bytes:
         chunks = []
@@ -117,13 +135,18 @@ def read_frame_sock(sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES) -> Di
             if not chunk:
                 if remaining == n and not chunks:
                     raise ConnectionClosed("peer closed between frames")
-                raise FrameError("connection closed mid-frame")
+                raise FrameTruncated("connection closed mid-frame")
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
 
     length = parse_length(read_exactly(_LEN.size), max_bytes)
-    return decode_body(read_exactly(length))
+    return read_exactly(length)
+
+
+def read_frame_sock(sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES) -> Dict[str, object]:
+    """Read one JSON frame from a blocking socket (legacy)."""
+    return decode_body(read_body_sock(sock, max_bytes))
 
 
 @dataclass
@@ -135,6 +158,14 @@ class SessionResultPayload:
     wire.  ``metrics`` optionally carries the device run's
     ``MetricsRegistry.snapshot()`` (most devices send one consolidated
     ``metrics`` frame instead; see :mod:`repro.collector.fleet`).
+
+    ``deltas`` is the session's aggregate change of the 11 selected
+    performance counters (Table 1 order, one value per counter) and
+    ``mask`` a bitmask of counters whose aggregate is unknown (bit *i*
+    set = counter *i* masked).  The pair is exactly the fixed-width
+    block the binary codec packs as ``11×u64`` + ``u16`` — the reason
+    a result frame needs one :class:`struct.Struct` pack and no
+    per-field JSON encoding.
     """
 
     device_id: str
@@ -144,8 +175,23 @@ class SessionResultPayload:
     degraded: bool = False
     exact: Optional[bool] = None
     seed: int = 0
+    deltas: Optional[Tuple[int, ...]] = None
+    mask: int = 0
     metrics: Optional[Dict[str, object]] = None
     meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.deltas is not None:
+            self.deltas = tuple(int(v) for v in self.deltas)
+            if len(self.deltas) != N_COUNTERS:
+                raise ValueError(
+                    f"deltas must carry {N_COUNTERS} counter values, "
+                    f"got {len(self.deltas)}"
+                )
+            if any(v < 0 for v in self.deltas):
+                raise ValueError("counter deltas are non-negative")
+        if not 0 <= self.mask < (1 << N_COUNTERS):
+            raise ValueError(f"mask must fit {N_COUNTERS} bits, got {self.mask}")
 
     @classmethod
     def from_result(
@@ -156,6 +202,8 @@ class SessionResultPayload:
         seed: int = 0,
         expected: Optional[str] = None,
         metrics: Optional[Dict[str, object]] = None,
+        deltas: Optional[Tuple[int, ...]] = None,
+        mask: int = 0,
     ) -> "SessionResultPayload":
         """Build from any :class:`~repro.core.results.SessionResult`."""
         text = result.text
@@ -167,6 +215,8 @@ class SessionResultPayload:
             degraded=bool(getattr(result, "degraded", False)),
             exact=None if expected is None else text == expected,
             seed=seed,
+            deltas=deltas,
+            mask=mask,
             metrics=metrics,
         )
 
@@ -179,6 +229,8 @@ class SessionResultPayload:
             "degraded": self.degraded,
             "exact": self.exact,
             "seed": self.seed,
+            "deltas": list(self.deltas) if self.deltas is not None else None,
+            "mask": self.mask,
             "metrics": self.metrics,
             "meta": self.meta,
         }
@@ -187,11 +239,14 @@ class SessionResultPayload:
     def from_dict(cls, data: Mapping[str, object]) -> "SessionResultPayload":
         known = {
             "device_id", "session_index", "text", "n_keys", "degraded",
-            "exact", "seed", "metrics", "meta",
+            "exact", "seed", "deltas", "mask", "metrics", "meta",
         }
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown SessionResultPayload fields: {sorted(unknown)}")
         kwargs = dict(data)
         kwargs.setdefault("meta", {})
+        if kwargs.get("deltas") is not None:
+            kwargs["deltas"] = tuple(kwargs["deltas"])
+        kwargs.setdefault("mask", 0)
         return cls(**kwargs)  # type: ignore[arg-type]

@@ -1,10 +1,17 @@
 """The asyncio ingestion service the fleet reports into.
 
-A :class:`CollectorServer` accepts length-prefixed JSON frames (see
+A :class:`CollectorServer` accepts length-prefixed frames (see
 :mod:`repro.collector.framing`) over TCP or a unix socket, pushes every
 accepted result through a **bounded in-flight queue**, and aggregates on
 the far side of it into the run's :class:`~repro.obs.MetricsRegistry`
 and result list.
+
+Frames arrive as typed objects (:mod:`repro.collector.frames`):
+:func:`~repro.collector.frames.decode_any` dispatches on the body's
+first byte, so binary and JSON clients coexist on adjacent connections
+— the codec chosen in the ``hello`` exchange only governs what the
+*server* writes back.  A JSON-only (protocol revision 1) client that
+offers no codecs gets JSON replies and completes its run unchanged.
 
 Why a queue at all?  Backpressure.  The connection handlers are I/O
 bound and cheap; aggregation (metrics merging, result retention, user
@@ -21,13 +28,18 @@ Delivery contract: resends are deduplicated by ``(device_id, seq)``
 resends until acked gets **exactly-once aggregation** over an
 at-least-once transport.
 
+Protocol errors are clean: an oversized length prefix or a peer closing
+mid-frame counts ``collector.frames.rejected`` and closes the
+connection with a typed error reply where possible — never a raw
+``asyncio.IncompleteReadError`` escaping a handler.
+
 Shutdown is a graceful drain: stop accepting, close idle connections,
 wait for in-flight handlers, then run the queue dry before the
 aggregator exits — nothing admitted is ever dropped.
 
-The server exports ``collector.*`` metrics (ingest counters, queue
-depth gauges, retry tallies reported by clients at ``bye``); the full
-table is in ``docs/collector.md``.
+The server exports ``collector.*`` metrics (ingest counters, codec
+negotiation tallies, queue depth gauges, retry tallies reported by
+clients at ``bye``); the full table is in ``docs/collector.md``.
 
 Threading: :class:`CollectorServer` is pure asyncio.  Synchronous
 callers (the CLI, tests, :class:`~repro.collector.fleet.FleetDriver`)
@@ -42,34 +54,56 @@ import threading
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.collector.config import CollectorConfig, shim_legacy_kwargs
+from repro.collector.frames import (
+    Ack,
+    Bye,
+    ByeOk,
+    Hello,
+    HelloOk,
+    Metrics,
+    MetricsOk,
+    ProtocolError,
+    Result,
+    codec_for,
+    decode_any,
+    negotiate_codec,
+)
 from repro.collector.framing import (
-    MAX_FRAME_BYTES,
     PROTO_VERSION,
     ConnectionClosed,
     FrameError,
+    FrameTooLarge,
+    FrameTruncated,
     SessionResultPayload,
-    encode_frame,
-    read_frame_async,
+    read_body_async,
 )
 from repro.obs import MetricsRegistry, RunManifest
 
 #: Endpoint tuples: ``("tcp", host, port)`` or ``("unix", path)``.
 Endpoint = Tuple
 
+#: Legacy per-call keywords → the CollectorConfig field each one sets.
+_LEGACY_SERVER_KWARGS = {
+    "transport": "transport",
+    "host": "host",
+    "port": "port",
+    "unix_path": "unix_path",
+    "queue_size": "queue_size",
+    "read_timeout_s": "read_timeout_s",
+    "drain_timeout_s": "drain_timeout_s",
+    "max_frame_bytes": "max_frame_bytes",
+}
+
 
 class CollectorServer:
     """Bounded-queue frame ingestion over TCP or a unix socket.
 
     Args:
-        transport: ``"tcp"`` or ``"unix"``.
-        host / port: TCP bind address (``port=0`` picks a free port).
-        unix_path: filesystem path for the unix-socket transport.
-        queue_size: in-flight result bound — the backpressure knob.
-        read_timeout_s: per-connection idle read timeout; a connection
-            that sends nothing for this long is closed (counted as
-            ``collector.connection_timeouts``).
-        drain_timeout_s: how long :meth:`stop` waits for in-flight
-            connections before force-closing them.
+        config: the :class:`~repro.collector.config.CollectorConfig`
+            holding every transport/codec/backpressure knob.  The old
+            per-call keywords (``transport=``, ``queue_size=``, ...)
+            still work through a deprecation shim.
         metrics: the registry aggregation lands in; defaults to a fresh
             enabled :class:`MetricsRegistry` (the collector always
             counts — its report *is* the product).
@@ -82,37 +116,29 @@ class CollectorServer:
 
     def __init__(
         self,
-        transport: str = "tcp",
-        host: str = "127.0.0.1",
-        port: int = 0,
-        unix_path: Optional[str] = None,
-        queue_size: int = 256,
-        read_timeout_s: float = 30.0,
-        drain_timeout_s: float = 10.0,
+        config: Optional[CollectorConfig] = None,
+        *,
         metrics: Optional[MetricsRegistry] = None,
         keep_results: bool = True,
         on_result=None,
-        max_frame_bytes: int = MAX_FRAME_BYTES,
+        **legacy,
     ) -> None:
-        if transport not in ("tcp", "unix"):
-            raise ValueError(f"unknown transport {transport!r}")
-        if transport == "unix" and not unix_path:
-            raise ValueError("unix transport requires unix_path")
-        if queue_size < 1:
-            raise ValueError("queue_size must be >= 1")
-        if read_timeout_s <= 0 or drain_timeout_s <= 0:
-            raise ValueError("timeouts must be positive")
-        self.transport = transport
-        self.host = host
-        self.port = port
-        self.unix_path = unix_path
-        self.queue_size = queue_size
-        self.read_timeout_s = read_timeout_s
-        self.drain_timeout_s = drain_timeout_s
+        config = shim_legacy_kwargs(
+            config, legacy, "CollectorServer", _LEGACY_SERVER_KWARGS
+        )
+        self.config = config
+        self.transport = config.transport
+        self.host = config.host
+        self.port = config.port
+        self.unix_path = config.unix_path
+        self.queue_size = config.queue_size
+        self.read_timeout_s = config.read_timeout_s
+        self.drain_timeout_s = config.drain_timeout_s
+        self.max_frame_bytes = config.max_frame_bytes
+        self.codec = config.codec
         self.registry = metrics if metrics is not None else MetricsRegistry()
         self.keep_results = keep_results
         self.on_result = on_result
-        self.max_frame_bytes = max_frame_bytes
 
         self.results: List[SessionResultPayload] = []
         self._queue: Optional[asyncio.Queue] = None
@@ -196,54 +222,70 @@ class CollectorServer:
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         counters = self.registry.counter
         counters("collector.connections_opened").inc()
+        # replies are JSON until the hello exchange negotiates otherwise
+        reply_codec = codec_for("json")
         device_id = "?"
         try:
             while True:
                 try:
-                    frame = await asyncio.wait_for(
-                        read_frame_async(reader, self.max_frame_bytes),
+                    body = await asyncio.wait_for(
+                        read_body_async(reader, self.max_frame_bytes),
                         timeout=self.read_timeout_s,
                     )
+                    frame = decode_any(body)
                 except asyncio.TimeoutError:
                     counters("collector.connection_timeouts").inc()
                     return
                 except ConnectionClosed:
                     return
-                except FrameError:
-                    counters("collector.malformed_frames").inc()
+                except FrameTooLarge as exc:
+                    # the stream is desynchronized past this prefix:
+                    # reject loudly, reply if the peer is still there,
+                    # and close — never read the claimed body
+                    counters("collector.frames.rejected").inc()
+                    writer.write(reply_codec.encode(ProtocolError(str(exc))))
                     return
-                kind = frame.get("type")
-                if kind == "result":
-                    device_id = str(frame.get("device_id", device_id))
+                except FrameTruncated:
+                    # the peer died mid-frame: nothing left to reply to —
+                    # count the rejection and fold
+                    counters("collector.frames.rejected").inc()
+                    return
+                except FrameError as exc:
+                    counters("collector.malformed_frames").inc()
+                    writer.write(reply_codec.encode(ProtocolError(str(exc))))
+                    return
+                if isinstance(frame, Result):
+                    device_id = frame.device_id or device_id
                     if not await self._admit_result(frame):
                         counters("collector.malformed_frames").inc()
                         return
-                    writer.write(encode_frame({"type": "ack", "seq": frame["seq"]}))
-                elif kind == "hello":
-                    device_id = str(frame.get("device_id", "?"))
-                    if frame.get("proto") != PROTO_VERSION:
+                    writer.write(reply_codec.encode(Ack(seq=frame.seq)))
+                elif isinstance(frame, Hello):
+                    device_id = frame.device_id
+                    if frame.proto != PROTO_VERSION:
                         counters("collector.proto_rejected").inc()
-                        writer.write(
-                            encode_frame({"type": "error", "error": "proto mismatch"})
-                        )
+                        writer.write(reply_codec.encode(ProtocolError("proto mismatch")))
                         return
                     counters("collector.devices_seen").inc()
-                    writer.write(encode_frame({"type": "hello_ok"}))
-                elif kind == "metrics":
-                    snapshot = frame.get("snapshot")
-                    if isinstance(snapshot, dict):
-                        self.registry.merge_snapshot(snapshot)
+                    chosen = negotiate_codec(frame.codecs, self.codec)
+                    reply_codec = codec_for(chosen)
+                    counters(f"collector.codec.{chosen}").inc()
+                    writer.write(reply_codec.encode(HelloOk(codec=chosen)))
+                elif isinstance(frame, Metrics):
+                    if frame.snapshot:
+                        self.registry.merge_snapshot(frame.snapshot)
                         counters("collector.metrics_frames").inc()
-                    writer.write(encode_frame({"type": "metrics_ok"}))
-                elif kind == "bye":
-                    counters("collector.client_retries").inc(int(frame.get("retries", 0)))
-                    counters("collector.client_reconnects").inc(
-                        int(frame.get("reconnects", 0))
-                    )
-                    writer.write(encode_frame({"type": "bye_ok"}))
+                    writer.write(reply_codec.encode(MetricsOk()))
+                elif isinstance(frame, Bye):
+                    counters("collector.client_retries").inc(frame.retries)
+                    counters("collector.client_reconnects").inc(frame.reconnects)
+                    writer.write(reply_codec.encode(ByeOk()))
                     await writer.drain()
                     return
                 else:
+                    # Ack/HelloOk/MetricsOk/ByeOk/ProtocolError are
+                    # server-to-client frames; a client sending one is
+                    # confused
                     counters("collector.malformed_frames").inc()
                     return
                 await writer.drain()
@@ -259,29 +301,22 @@ class CollectorServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _admit_result(self, frame: Dict[str, object]) -> bool:
+    async def _admit_result(self, frame: Result) -> bool:
         """Dedup-check one result frame and enqueue it; False = malformed.
 
         The enqueue is the backpressure point: with the queue full this
         awaits, the connection stops reading, and the client blocks in
         ``send`` until the aggregator catches up.
         """
-        seq = frame.get("seq")
-        payload_dict = frame.get("payload")
-        if not isinstance(seq, int) or not isinstance(payload_dict, dict):
-            return False
-        try:
-            payload = SessionResultPayload.from_dict(payload_dict)
-        except (ValueError, TypeError):
-            return False
+        payload = frame.payload
         self.registry.counter("collector.frames_ingested").inc()
         seen = self._seen.setdefault(payload.device_id, set())
-        if seq in seen:
+        if frame.seq in seen:
             # a resend of something already admitted (its ack was lost);
             # re-ack without re-aggregating
             self.registry.counter("collector.dupes_dropped").inc()
             return True
-        seen.add(seq)
+        seen.add(frame.seq)
         await self._queue.put(payload)
         depth = self._queue.qsize()
         if depth > self._queue_peak:
@@ -330,7 +365,8 @@ class CollectorHandle:
 
     The synchronous façade the rest of the codebase uses::
 
-        with CollectorHandle(transport="unix", unix_path=p) as handle:
+        cfg = CollectorConfig(transport="unix", unix_path=p)
+        with CollectorHandle(cfg) as handle:
             endpoint = handle.endpoint
             ... clients stream into it ...
         # exiting drains and stops the server; handle.server.results is final
@@ -339,8 +375,8 @@ class CollectorHandle:
     on :meth:`CollectorServer.stop`.
     """
 
-    def __init__(self, **server_kwargs) -> None:
-        self.server = CollectorServer(**server_kwargs)
+    def __init__(self, config: Optional[CollectorConfig] = None, **server_kwargs) -> None:
+        self.server = CollectorServer(config, **server_kwargs)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self.endpoint: Optional[Endpoint] = None

@@ -26,12 +26,23 @@ that "for each key, repetitive presses always result in the same change of
 PC values" (Section 3.4).  All stochastic effects (split reads, sampling
 jitter, background noise) live elsewhere — in the sampler and the noise
 sources — never in the pipeline itself.
+
+Execution: :meth:`AdrenoPipeline.render` stacks the scene's ops into
+parallel numpy arrays (:meth:`Scene.op_arrays`) and composites the whole
+frame in one batched pass — per-stage reductions over op columns, with
+occlusion solved per layer on a coordinate-compressed occluder grid —
+instead of a Python loop per op.  :meth:`AdrenoPipeline.render_reference`
+keeps the original per-op scalar walk; the two are integer-identical (the
+property the golden-trace suite pins), every rounding step in the batched
+pass mirroring the scalar expression shape exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List
+
+import numpy as np
 
 from repro.android.geometry import Rect, covered_area
 from repro.android.layers import DrawOp, Scene
@@ -42,6 +53,9 @@ from repro.gpu.adreno import LRZ_BLOCK, RAS_BLOCK, AdrenoSpec
 #: plus a fixed cost per supertile visited.
 _CYCLES_PER_RAS_BLOCK = 2
 _CYCLES_PER_SUPERTILE = 16
+
+#: Ink coverage at or above this renders as a dense (solid) op.
+_DENSE_COVERAGE = 0.95
 
 
 @dataclass(frozen=True)
@@ -67,11 +81,141 @@ def _visibility(op: DrawOp, occluders: List[Rect]) -> float:
     return visible / op.rect.area
 
 
+def _tile_counts_batch(left, top, right, bottom, tile_w, tile_h, nonempty):
+    """Vectorized :meth:`Rect.tile_counts` over op columns.
+
+    ``tile_w``/``tile_h`` are ``(k, 1)`` columns so several tile
+    geometries (LRZ 8x8, RAS 8x4, the GPU's supertile) resolve in one
+    broadcast pass.  The arithmetic matches ``_tile_counts_cached``
+    (numpy's floor division matches Python's on negatives), with empty
+    rectangles masked to zero — the raw column/row formulas are nonzero
+    for inverted extents.
+    """
+    cols = -((-right) // tile_w) - left // tile_w
+    rows = -((-bottom) // tile_h) - top // tile_h
+    full_cols = np.maximum(0, right // tile_w - (-((-left) // tile_w)))
+    full_rows = np.maximum(0, bottom // tile_h - (-((-top) // tile_h)))
+    full = np.where(nonempty, full_cols * full_rows, 0)
+    partial = np.where(nonempty, cols * rows - full, 0)
+    return full, partial
+
+
+def _clip_areas(op_l, op_t, op_r, op_b, rect) -> np.ndarray:
+    """Per-op area of intersection with one ``(l, t, r, b)`` rectangle."""
+    w = np.minimum(op_r, rect[2]) - np.maximum(op_l, rect[0])
+    h = np.minimum(op_b, rect[3]) - np.maximum(op_t, rect[1])
+    np.maximum(w, 0, out=w)
+    np.maximum(h, 0, out=h)
+    return w * h
+
+
+def _occluded_areas(op_l, op_t, op_r, op_b, occ) -> np.ndarray:
+    """Exact per-op area hidden by the union of occluder rectangles.
+
+    One or two occluders resolve by direct clipping (inclusion–exclusion
+    for the pair — the keyboard's press-popup case).  Larger sets fall
+    back to a coordinate-compressed grid: occluder edges cut the plane
+    into cells that each lie wholly inside or outside every occluder, so
+    the union is an exact cell set and each op's occluded area is the
+    summed integer clip of its rectangle against those cells — identical
+    to the scalar slab sweep over per-op intersections.
+    """
+    if occ.shape[0] == 1:
+        return _clip_areas(op_l, op_t, op_r, op_b, occ[0])
+    if occ.shape[0] == 2:
+        both = (
+            np.maximum(occ[0, 0], occ[1, 0]),
+            np.maximum(occ[0, 1], occ[1, 1]),
+            np.minimum(occ[0, 2], occ[1, 2]),
+            np.minimum(occ[0, 3], occ[1, 3]),
+        )
+        return (
+            _clip_areas(op_l, op_t, op_r, op_b, occ[0])
+            + _clip_areas(op_l, op_t, op_r, op_b, occ[1])
+            - _clip_areas(op_l, op_t, op_r, op_b, both)
+        )
+    xs = np.unique(occ[:, (0, 2)])
+    ys = np.unique(occ[:, (1, 3)])
+    x0, x1 = xs[:-1], xs[1:]
+    y0, y1 = ys[:-1], ys[1:]
+    # covy[k, r] / covx[k, c]: occluder k fully spans grid row r / column
+    # c.  float64 so the reductions run as BLAS matmuls; every value is a
+    # small integer (well under 2**53), so float64 stays exact.
+    covx = ((occ[:, 0][:, None] <= x0) & (occ[:, 2][:, None] >= x1)).astype(np.float64)
+    covy = ((occ[:, 1][:, None] <= y0) & (occ[:, 3][:, None] >= y1)).astype(np.float64)
+    covered = (covy.T @ covx > 0).astype(np.float64)
+    # per-op clip extents against the grid rows/columns
+    ow = np.minimum(op_r[:, None], x1) - np.maximum(op_l[:, None], x0)
+    oh = np.minimum(op_b[:, None], y1) - np.maximum(op_t[:, None], y0)
+    np.maximum(ow, 0, out=ow)
+    np.maximum(oh, 0, out=oh)
+    acc = (oh.astype(np.float64) @ covered) * ow
+    return acc.sum(axis=1).astype(np.int64)
+
+
 class AdrenoPipeline:
     """Renders scenes on one GPU model, producing counter increments."""
 
     def __init__(self, spec: AdrenoSpec) -> None:
         self.spec = spec
+        # (k, 1) tile-geometry columns for the one-pass tile-count batch:
+        # row 0 = LRZ 8x8, row 1 = RAS 8x4, row 2 = this GPU's supertile.
+        self._tile_w = np.array(
+            [[LRZ_BLOCK[0]], [RAS_BLOCK[0]], [spec.supertile_w]], dtype=np.int64
+        )
+        self._tile_h = np.array(
+            [[LRZ_BLOCK[1]], [RAS_BLOCK[1]], [spec.supertile_h]], dtype=np.int64
+        )
+
+    # -- batched hot path ----------------------------------------------
+
+    @staticmethod
+    def _visibility_batch(arrs, area, nonempty) -> np.ndarray:
+        """Per-op visible fraction after LRZ occlusion.
+
+        Occluder edges induce one coordinate-compressed grid shared by the
+        whole scene; each cell lies wholly inside or outside every
+        occluder, so a single ``einsum`` over an occluder-above-layer mask
+        yields, per layer, the exact set of covered cells, and each op's
+        occluded area is the summed integer clip of its rectangle against
+        those cells — identical to the scalar slab sweep over per-op
+        intersections.
+        """
+        layer = arrs.layer
+        n = len(layer)
+        vis = np.zeros(n, dtype=np.float64)
+        occ_mask = arrs.opaque & nonempty
+        if occ_mask.any():
+            occ = np.stack(
+                [
+                    arrs.left[occ_mask],
+                    arrs.top[occ_mask],
+                    arrs.right[occ_mask],
+                    arrs.bottom[occ_mask],
+                ],
+                axis=1,
+            )
+            occ_layer = layer[occ_mask]
+            occluded = np.zeros(n, dtype=np.int64)
+            for idx in range(int(layer.max()) + 1):
+                sel = layer == idx
+                if not sel.any():
+                    continue
+                above = occ[occ_layer > idx]
+                if above.shape[0] == 0:
+                    continue
+                occluded[sel] = _occluded_areas(
+                    arrs.left[sel],
+                    arrs.top[sel],
+                    arrs.right[sel],
+                    arrs.bottom[sel],
+                    above,
+                )
+            visible = np.maximum(0, area - occluded)
+            np.divide(visible, area, out=vis, where=area > 0)
+        else:
+            np.divide(area, area, out=vis, where=area > 0)
+        return vis
 
     def render(self, scene: Scene) -> FrameStats:
         """Render a full scene and return the counter increments.
@@ -79,6 +223,95 @@ class AdrenoPipeline:
         Android only submits a frame when something changed (the paper's
         Fig 5: "PC values remain unchanged if the screen display does not
         change"), so callers render exactly one frame per damage event.
+
+        The whole scene composites as one batched numpy pass; every
+        rounding expression keeps the scalar reference's exact shape
+        (``np.rint`` ↔ ``round`` are both half-to-even, ``astype(int64)``
+        ↔ ``int()`` both truncate non-negatives), so the increments are
+        integer-identical to :meth:`render_reference`.
+        """
+        arrs = scene.op_arrays()
+        n = len(arrs)
+        if n == 0:
+            return FrameStats(
+                increment=pc.CounterIncrement(),
+                pixels_touched=0,
+                render_time_s=self.spec.render_time_s(0),
+            )
+        left, top = arrs.left, arrs.top
+        right, bottom = arrs.right, arrs.bottom
+        coverage, primitives = arrs.coverage, arrs.primitives
+
+        nonempty = (right > left) & (bottom > top)
+        area = np.maximum(0, right - left) * np.maximum(0, bottom - top)
+        frag = np.rint(area * coverage).astype(np.int64)
+        quads = np.maximum(1, (primitives + 1) // 2)
+        components = quads * 4 * np.where(arrs.textured, 10, 8)
+
+        vis = self._visibility_batch(arrs, area, nonempty)
+        visible_mask = vis > 0.0
+        visible_pixels = np.rint(frag * vis).astype(np.int64)
+
+        full, partial = _tile_counts_batch(
+            left, top, right, bottom, self._tile_w, self._tile_h, nonempty
+        )
+        lrz_full, ras_full, st_full = full
+        lrz_part, ras_part, st_part = partial
+
+        dense = coverage >= _DENSE_COVERAGE
+        full8 = np.where(dense, lrz_full, (lrz_full * coverage).astype(np.int64))
+        part8 = np.where(dense, lrz_part, lrz_part + (lrz_full - full8))
+
+        st_total = st_full + st_part
+        super_tiles = np.where(
+            vis != 0.0,
+            np.maximum(1, np.rint(st_total * vis).astype(np.int64)),
+            0,
+        )
+
+        ras_blocks = np.rint((ras_full + ras_part) * vis).astype(np.int64)
+        fully = np.where(
+            dense,
+            np.rint(ras_full * vis).astype(np.int64),
+            np.rint((ras_full * coverage) * vis).astype(np.int64),
+        )
+
+        inc = pc.CounterIncrement()
+        inc.add(pc.VPC_PC_PRIMITIVES, int(primitives.sum()))
+        inc.add(pc.VPC_SP_COMPONENTS, int(components.sum()))
+        inc.add(pc.VPC_LRZ_ASSIGN_PRIMITIVES, int(primitives @ arrs.opaque))
+        inc.add(pc.LRZ_VISIBLE_PRIM_AFTER_LRZ, int(primitives @ visible_mask))
+        inc.add(pc.LRZ_VISIBLE_PIXEL_AFTER_LRZ, int(visible_pixels.sum()))
+        inc.add(pc.LRZ_FULL_8X8_TILES, int(np.rint(full8 * vis).astype(np.int64).sum()))
+        inc.add(
+            pc.LRZ_PARTIAL_8X8_TILES, int(np.rint(part8 * vis).astype(np.int64).sum())
+        )
+        inc.add(pc.RAS_SUPER_TILES, int(super_tiles.sum()))
+        inc.add(pc.RAS_8X4_TILES, int(ras_blocks.sum()))
+        inc.add(pc.RAS_FULLY_COVERED_8X4_TILES, int(fully.sum()))
+        inc.add(
+            pc.RAS_SUPERTILE_ACTIVE_CYCLES,
+            int(
+                (ras_blocks * _CYCLES_PER_RAS_BLOCK).sum()
+                + (super_tiles * _CYCLES_PER_SUPERTILE).sum()
+            ),
+        )
+
+        pixels_touched = int(visible_pixels.sum())
+        return FrameStats(
+            increment=inc,
+            pixels_touched=pixels_touched,
+            render_time_s=self.spec.render_time_s(pixels_touched),
+        )
+
+    # -- scalar reference ----------------------------------------------
+
+    def render_reference(self, scene: Scene) -> FrameStats:
+        """The original per-op scalar walk, kept as the parity oracle.
+
+        Slow but obviously faithful to the stage model; the test suite
+        asserts :meth:`render` matches it integer-for-integer on every
+        scene shape the simulator produces.
         """
         inc = pc.CounterIncrement()
         pixels_touched = 0
@@ -101,7 +334,7 @@ class AdrenoPipeline:
             lrz_cov = op.rect.tile_counts(*LRZ_BLOCK)
             # Dense ops (solid quads) fully cover their interior blocks;
             # sparse glyph ink only partially covers blocks it touches.
-            if op.coverage >= 0.95:
+            if op.coverage >= _DENSE_COVERAGE:
                 full8 = lrz_cov.full
                 part8 = lrz_cov.partial
             else:
@@ -118,7 +351,7 @@ class AdrenoPipeline:
             ras_cov = op.rect.tile_counts(*RAS_BLOCK)
             ras_blocks = int(round(ras_cov.total * visibility))
             inc.add(pc.RAS_8X4_TILES, ras_blocks)
-            if op.coverage >= 0.95:
+            if op.coverage >= _DENSE_COVERAGE:
                 fully = int(round(ras_cov.full * visibility))
             else:
                 fully = int(round(ras_cov.full * op.coverage * visibility))

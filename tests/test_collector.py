@@ -9,6 +9,7 @@ from repro.api import run_fleet
 from repro.collector import (
     CollectorClient,
     CollectorClientError,
+    CollectorConfig,
     CollectorHandle,
     CollectorServer,
     FleetDriver,
@@ -30,6 +31,11 @@ from repro.obs import MetricsRegistry
 
 NO_SLEEP = lambda s: None  # noqa: E731 — instant backoff for tests
 FAST_RETRY = RetryPolicy(max_attempts=8, base_delay_s=0.001, max_delay_s=0.01)
+FAST_CFG = CollectorConfig(retry=FAST_RETRY)
+
+
+def fast_cfg(**overrides):
+    return FAST_CFG.with_overrides(**overrides)
 
 
 def payloads_for(device_id, n, text="pw", exact=True):
@@ -103,9 +109,9 @@ class TestFraming:
 
 class TestDelivery:
     def test_tcp_round_trip_all_ingested(self):
-        with CollectorHandle(transport="tcp") as handle:
+        with CollectorHandle(fast_cfg()) as handle:
             with CollectorClient(
-                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+                handle.endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
             ) as client:
                 client.send_results(payloads_for("device-0000", 10))
         server = handle.server
@@ -118,16 +124,16 @@ class TestDelivery:
 
     def test_unix_socket_transport(self, tmp_path):
         path = str(tmp_path / "collector.sock")
-        with CollectorHandle(transport="unix", unix_path=path) as handle:
+        with CollectorHandle(fast_cfg(transport="unix", unix_path=path)) as handle:
             assert handle.endpoint == ("unix", path)
             with CollectorClient(
-                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+                handle.endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
             ) as client:
                 client.send_results(payloads_for("device-0000", 5))
         assert len(handle.server.results) == 5
 
     def test_resend_is_deduplicated(self):
-        with CollectorHandle(transport="tcp") as handle:
+        with CollectorHandle(fast_cfg()) as handle:
             sock = raw_connect(handle.endpoint)
             frame = {
                 "type": "result",
@@ -145,22 +151,22 @@ class TestDelivery:
         assert server.registry.counter("collector.dupes_dropped").value == 2
 
     def test_devices_do_not_share_dedup_space(self):
-        with CollectorHandle(transport="tcp") as handle:
+        with CollectorHandle(fast_cfg()) as handle:
             for device in ("device-0000", "device-0001"):
                 with CollectorClient(
-                    handle.endpoint, device, retry=FAST_RETRY, sleep=NO_SLEEP
+                    handle.endpoint, device, config=FAST_CFG, sleep=NO_SLEEP
                 ) as client:
                     client.send_results(payloads_for(device, 3))
         assert len(handle.server.results) == 6
 
     def test_injected_drops_are_absorbed_with_zero_loss(self):
         plan = FaultPlan(seed=5, read_error_prob=0.3, jitter_prob=0.2, jitter_s=1e-4)
-        with CollectorHandle(transport="tcp") as handle:
+        with CollectorHandle(fast_cfg()) as handle:
             client = CollectorClient(
                 handle.endpoint,
                 "device-0000",
                 fault_plan=plan,
-                retry=FAST_RETRY,
+                config=FAST_CFG,
                 seed_offset=9,
                 sleep=NO_SLEEP,
             )
@@ -183,22 +189,22 @@ class TestDelivery:
         )
 
     def test_client_gives_up_when_collector_is_gone(self):
-        handle = CollectorHandle(transport="tcp")
+        handle = CollectorHandle(fast_cfg())
         endpoint = handle.start()
         handle.stop()
         client = CollectorClient(
             endpoint,
             "device-0000",
-            retry=RetryPolicy(max_attempts=3, base_delay_s=0.001),
+            config=fast_cfg(retry=RetryPolicy(max_attempts=3, base_delay_s=0.001)),
             sleep=NO_SLEEP,
         )
         with pytest.raises(CollectorClientError, match="undelivered after 3 attempts"):
             client.send_result(SessionResultPayload("device-0000", 0, "pw", 2))
 
     def test_client_survives_server_side_idle_timeout(self):
-        with CollectorHandle(transport="tcp", read_timeout_s=0.05) as handle:
+        with CollectorHandle(fast_cfg(read_timeout_s=0.05)) as handle:
             with CollectorClient(
-                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+                handle.endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
             ) as client:
                 client.send_result(SessionResultPayload("device-0000", 0, "pw", 2))
                 deadline = time.monotonic() + 2.0
@@ -218,20 +224,44 @@ class TestDelivery:
         assert len(server.results) == 2
         assert client.stats.reconnects >= 1
 
-    def test_malformed_frame_closes_connection(self):
-        with CollectorHandle(transport="tcp") as handle:
+    def test_oversized_prefix_is_rejected_cleanly(self):
+        with CollectorHandle(fast_cfg()) as handle:
             sock = raw_connect(handle.endpoint)
             sock.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"xxxx")
-            assert sock.recv(1) == b""  # server hung up
-            sock.close()
-            sock = raw_connect(handle.endpoint)
-            sock.sendall(encode_frame({"type": "mystery"}))
+            # the server answers with a typed protocol error, then hangs up
+            assert read_frame_sock(sock)["type"] == "error"
             assert sock.recv(1) == b""
             sock.close()
-        assert handle.server.registry.counter("collector.malformed_frames").value == 2
+        registry = handle.server.registry
+        assert registry.counter("collector.frames.rejected").value == 1
+        assert registry.counter("collector.malformed_frames").value == 0
+
+    def test_truncated_frame_is_rejected_cleanly(self):
+        with CollectorHandle(fast_cfg()) as handle:
+            sock = raw_connect(handle.endpoint)
+            # claim a 64-byte body, deliver 3 bytes, vanish mid-frame
+            sock.sendall((64).to_bytes(4, "big") + b"abc")
+            sock.close()
+            deadline = time.monotonic() + 2.0
+            registry = handle.server.registry
+            while (
+                registry.counter("collector.frames.rejected").value == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        assert registry.counter("collector.frames.rejected").value == 1
+
+    def test_malformed_frame_closes_connection(self):
+        with CollectorHandle(fast_cfg()) as handle:
+            sock = raw_connect(handle.endpoint)
+            sock.sendall(encode_frame({"type": "mystery"}))
+            assert read_frame_sock(sock)["type"] == "error"
+            assert sock.recv(1) == b""
+            sock.close()
+        assert handle.server.registry.counter("collector.malformed_frames").value == 1
 
     def test_hello_proto_mismatch_rejected(self):
-        with CollectorHandle(transport="tcp") as handle:
+        with CollectorHandle(fast_cfg()) as handle:
             sock = raw_connect(handle.endpoint)
             sock.sendall(encode_frame({"type": "hello", "device_id": "d", "proto": 99}))
             assert read_frame_sock(sock)["type"] == "error"
@@ -243,9 +273,9 @@ class TestDelivery:
     def test_metrics_frame_merges_into_registry(self):
         device = MetricsRegistry()
         device.counter("engine.keys").inc(12)
-        with CollectorHandle(transport="tcp") as handle:
+        with CollectorHandle(fast_cfg()) as handle:
             with CollectorClient(
-                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+                handle.endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
             ) as client:
                 client.send_metrics(device.snapshot())
                 client.send_metrics(device.snapshot())
@@ -253,15 +283,43 @@ class TestDelivery:
         assert registry.counter("engine.keys").value == 24
         assert registry.counter("collector.metrics_frames").value == 2
 
-    def test_server_validates_configuration(self):
+    def test_config_validates_fields(self):
         with pytest.raises(ValueError, match="transport"):
-            CollectorServer(transport="carrier-pigeon")
+            CollectorConfig(transport="carrier-pigeon")
         with pytest.raises(ValueError, match="unix_path"):
-            CollectorServer(transport="unix")
+            CollectorConfig(transport="unix")
+        with pytest.raises(ValueError, match="codec"):
+            CollectorConfig(codec="morse")
         with pytest.raises(ValueError, match="queue_size"):
-            CollectorServer(queue_size=0)
+            CollectorConfig(queue_size=0)
         with pytest.raises(ValueError, match="timeouts"):
-            CollectorServer(read_timeout_s=0)
+            CollectorConfig(read_timeout_s=0)
+        with pytest.raises(TypeError, match="RetryPolicy"):
+            CollectorConfig(retry={"max_attempts": 3})
+
+    def test_config_round_trips_through_dict(self):
+        cfg = CollectorConfig(
+            codec="binary",
+            queue_size=32,
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.01),
+        )
+        assert CollectorConfig.from_dict(cfg.to_dict()) == cfg
+        with pytest.raises(ValueError, match="unknown"):
+            CollectorConfig.from_dict({"bogus": 1})
+
+    def test_legacy_kwargs_warn_and_apply(self):
+        with pytest.deprecated_call(match="CollectorServer"):
+            server = CollectorServer(transport="tcp", queue_size=7)
+        assert server.config.queue_size == 7
+        with pytest.raises(ValueError, match="transport"):
+            with pytest.deprecated_call():
+                CollectorServer(transport="carrier-pigeon")
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            CollectorServer(bogus_knob=1)
+        endpoint = ("tcp", "127.0.0.1", 1)
+        with pytest.deprecated_call(match="CollectorClient"):
+            client = CollectorClient(endpoint, "d", retry=FAST_RETRY)
+        assert client.retry == FAST_RETRY
 
 
 class TestBackpressure:
@@ -275,11 +333,11 @@ class TestBackpressure:
             await asyncio.sleep(delay_s)
 
         with CollectorHandle(
-            transport="tcp", queue_size=1, on_result=slow_consumer
+            fast_cfg(queue_size=1), on_result=slow_consumer
         ) as handle:
             started = time.perf_counter()
             with CollectorClient(
-                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+                handle.endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
             ) as client:
                 client.send_results(payloads_for("device-0000", n))
             elapsed = time.perf_counter() - started
@@ -297,10 +355,10 @@ class TestBackpressure:
             await asyncio.sleep(0.02)
 
         with CollectorHandle(
-            transport="tcp", queue_size=64, on_result=slow_consumer
+            fast_cfg(queue_size=64), on_result=slow_consumer
         ) as handle:
             with CollectorClient(
-                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+                handle.endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
             ) as client:
                 client.send_results(payloads_for("device-0000", 8))
             # context exit stops the server; drain must finish the queue
@@ -310,9 +368,9 @@ class TestBackpressure:
         def explode(payload):
             raise RuntimeError("aggregation bug")
 
-        with CollectorHandle(transport="tcp", on_result=explode) as handle:
+        with CollectorHandle(fast_cfg(), on_result=explode) as handle:
             with CollectorClient(
-                handle.endpoint, "device-0000", retry=FAST_RETRY, sleep=NO_SLEEP
+                handle.endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
             ) as client:
                 client.send_results(payloads_for("device-0000", 4))
         registry = handle.server.registry
@@ -355,6 +413,209 @@ class TestNetworkFaultInjector:
 
 
 # ---------------------------------------------------------------------------
+# typed frames and the two wire codecs
+
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.collector import (  # noqa: E402
+    BINARY_CODEC,
+    JSON_CODEC,
+    N_COUNTERS,
+    Ack,
+    Bye,
+    Hello,
+    HelloOk,
+    Metrics,
+    Result,
+    decode_any,
+    negotiate_codec,
+)
+
+u64 = st.integers(min_value=0, max_value=2 ** 64 - 1)
+
+payload_strategy = st.builds(
+    SessionResultPayload,
+    device_id=st.text(min_size=1, max_size=24),
+    session_index=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    text=st.text(max_size=48),
+    n_keys=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    degraded=st.booleans(),
+    exact=st.one_of(st.none(), st.booleans()),
+    seed=st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    deltas=st.one_of(
+        st.none(),
+        st.tuples(*[u64] * N_COUNTERS),
+    ),
+    mask=st.integers(min_value=0, max_value=(1 << N_COUNTERS) - 1),
+    metrics=st.one_of(st.none(), st.dictionaries(st.text(max_size=8), st.integers())),
+    meta=st.dictionaries(st.text(max_size=8), st.text(max_size=8), max_size=3),
+)
+
+
+class TestWireCodecs:
+    @given(payload=payload_strategy, seq=st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=120)
+    def test_binary_result_round_trip(self, payload, seq):
+        frame = Result(seq=seq, payload=payload)
+        decoded = decode_any(BINARY_CODEC.encode(frame)[4:])
+        assert decoded == frame
+
+    @given(payload=payload_strategy, seq=st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=120)
+    def test_cross_codec_equivalence(self, payload, seq):
+        # the same result decodes identically off either wire format
+        frame = Result(seq=seq, payload=payload)
+        via_binary = decode_any(BINARY_CODEC.encode(frame)[4:])
+        via_json = decode_any(JSON_CODEC.encode(frame)[4:])
+        assert via_binary == via_json == frame
+
+    def test_binary_result_is_smaller_than_json(self):
+        frame = Result(
+            seq=7,
+            payload=SessionResultPayload(
+                "device-0001", 3, "hunter2", 7, exact=True,
+                deltas=tuple(range(1000, 1011)),
+            ),
+        )
+        assert len(BINARY_CODEC.encode(frame)) < len(JSON_CODEC.encode(frame))
+
+    def test_control_frames_round_trip_on_both_codecs(self):
+        frames = [
+            Ack(seq=123),
+            Metrics(snapshot={"counters": {"x": 1}}),
+            Bye(device_id="device-π", sent=9, retries=2, reconnects=1),
+        ]
+        for frame in frames:
+            for codec in (JSON_CODEC, BINARY_CODEC):
+                assert decode_any(codec.encode(frame)[4:]) == frame
+
+    def test_hello_stays_json_on_the_binary_codec(self):
+        # negotiation frames must be readable before negotiation happens
+        body = BINARY_CODEC.encode(Hello("d", codecs=("binary",)))[4:]
+        assert body[0:1] == b"{"
+        assert decode_any(body) == Hello("d", codecs=("binary",))
+
+    def test_truncated_binary_result_rejected(self):
+        frame = Result(
+            seq=0, payload=SessionResultPayload("d", 0, "pw", 2)
+        )
+        body = BINARY_CODEC.encode(frame)[4:]
+        with pytest.raises(FrameError, match="truncated|mismatch"):
+            decode_any(body[: len(body) - 1])
+        with pytest.raises(FrameError, match="truncated|mismatch"):
+            decode_any(body[:10])
+
+    def test_unknown_leading_byte_rejected(self):
+        with pytest.raises(FrameError, match="leading byte"):
+            decode_any(b"\xff\x00\x00")
+        with pytest.raises(FrameError, match="empty"):
+            decode_any(b"")
+
+    def test_payload_validates_deltas_and_mask(self):
+        with pytest.raises(ValueError, match="deltas"):
+            SessionResultPayload("d", 0, "pw", 2, deltas=(1, 2, 3))
+        with pytest.raises(ValueError, match="non-negative"):
+            SessionResultPayload("d", 0, "pw", 2, deltas=(-1,) * N_COUNTERS)
+        with pytest.raises(ValueError, match="mask"):
+            SessionResultPayload("d", 0, "pw", 2, mask=1 << N_COUNTERS)
+
+    def test_negotiation_matrix(self):
+        # old client (no offer) always gets JSON, whatever the policy
+        assert negotiate_codec((), "auto") == "json"
+        assert negotiate_codec((), "binary") == "json"
+        assert negotiate_codec((), "json") == "json"
+        # a binary-capable client gets binary unless the server pins json
+        assert negotiate_codec(("binary", "json"), "auto") == "binary"
+        assert negotiate_codec(("binary",), "binary") == "binary"
+        assert negotiate_codec(("binary", "json"), "json") == "json"
+        assert negotiate_codec(("json",), "auto") == "json"
+
+
+class TestCodecNegotiationE2E:
+    def test_binary_client_negotiates_and_delivers(self):
+        with CollectorHandle(fast_cfg(codec="binary")) as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000",
+                config=fast_cfg(codec="binary"), sleep=NO_SLEEP,
+            ) as client:
+                client.send_results(payloads_for("device-0000", 6))
+                assert client.wire_codec == "binary"
+        registry = handle.server.registry
+        assert len(handle.server.results) == 6
+        assert registry.counter("collector.codec.binary").value == 1
+        assert registry.counter("collector.codec.json").value == 0
+
+    def test_json_only_client_completes_against_binary_server(self):
+        # the compatibility guarantee: a revision-1 client (no codec
+        # offer at all) still completes its run on a binary-default server
+        with CollectorHandle(fast_cfg(codec="binary")) as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000",
+                config=fast_cfg(codec="json"), sleep=NO_SLEEP,
+            ) as client:
+                client.send_results(payloads_for("device-0000", 5))
+                assert client.wire_codec == "json"
+        assert len(handle.server.results) == 5
+        assert (
+            handle.server.registry.counter("collector.codec.json").value == 1
+        )
+
+    def test_json_client_hello_is_revision1_shape(self):
+        # codec="json" must offer nothing: byte-identical hello to old clients
+        from repro.collector.frames import frame_to_dict
+
+        client = CollectorClient(
+            ("tcp", "127.0.0.1", 1), "d", config=fast_cfg(codec="json")
+        )
+        hello = Hello(device_id="d", codecs=client._offered_codecs())
+        assert frame_to_dict(hello) == {
+            "type": "hello",
+            "device_id": "d",
+            "proto": 1,
+        }
+
+    def test_mixed_fleet_binary_and_json_zero_loss(self):
+        # binary and JSON clients interleave on one server: nothing lost,
+        # nothing double-counted
+        per_device = 15
+        with CollectorHandle(fast_cfg(codec="auto")) as handle:
+            clients = [
+                ("device-bin0", "binary"), ("device-json", "json"),
+                ("device-bin1", "auto"),
+            ]
+            for device, codec in clients:
+                with CollectorClient(
+                    handle.endpoint, device,
+                    config=fast_cfg(codec=codec), sleep=NO_SLEEP,
+                ) as client:
+                    client.send_results(payloads_for(device, per_device))
+        server = handle.server
+        registry = server.registry
+        assert len(server.results) == per_device * 3
+        assert registry.counter("collector.sessions_ingested").value == per_device * 3
+        assert registry.counter("collector.dupes_dropped").value == 0
+        assert registry.counter("collector.codec.binary").value == 2
+        assert registry.counter("collector.codec.json").value == 1
+
+    def test_mixed_fleet_with_faults_zero_loss(self):
+        plan = FaultPlan(seed=11, read_error_prob=0.25, jitter_prob=0.1, jitter_s=1e-4)
+        per_device = 25
+        with CollectorHandle(fast_cfg(codec="auto")) as handle:
+            for offset, codec in ((1, "binary"), (2, "json")):
+                with CollectorClient(
+                    handle.endpoint, f"device-{codec}", fault_plan=plan,
+                    config=fast_cfg(codec=codec), seed_offset=offset,
+                    sleep=NO_SLEEP,
+                ) as client:
+                    client.send_results(payloads_for(f"device-{codec}", per_device))
+        server = handle.server
+        assert len(server.results) == per_device * 2
+        assert server.registry.counter("collector.sessions_ingested").value == per_device * 2
+
+
+# ---------------------------------------------------------------------------
 # fleet
 
 
@@ -381,6 +642,13 @@ class TestFleet:
         assert report.manifest is not None
         assert report.manifest.counters["collector.sessions_ingested"] == 2
         assert report.manifest.meta["command"] == "fleet"
+        # devices negotiate binary by default and ship ground-truth deltas
+        assert report.codec_counts["binary"] == 2
+        for payload in report.results:
+            assert payload.deltas is not None
+            assert len(payload.deltas) == 11
+            assert any(v > 0 for v in payload.deltas)
+            assert payload.mask == 0
 
     def test_fleet_with_metrics_merges_device_runs(self, config, chase_store):
         from repro.android.apps import CHASE
@@ -396,7 +664,7 @@ class TestFleet:
             sessions_per_device=1,
             seed=33,
             config=AttackConfig(recognize_device=False, fault_plan=None),
-            transport="tcp",
+            collector=CollectorConfig(retry=FAST_RETRY),
             metrics=registry,
         )
         assert report.lost == 0
@@ -419,9 +687,11 @@ class TestFleet:
             sessions_per_device=2,
             seed=5,
             config=AttackConfig(recognize_device=False, fault_plan=plan),
-            transport="unix",
-            unix_path=str(tmp_path / "fleet.sock"),
-            retry=RetryPolicy(max_attempts=10, base_delay_s=0.001, max_delay_s=0.01),
+            collector=CollectorConfig(
+                transport="unix",
+                unix_path=str(tmp_path / "fleet.sock"),
+                retry=RetryPolicy(max_attempts=10, base_delay_s=0.001, max_delay_s=0.01),
+            ),
         )
         # the delivery contract: injected drops never lose results
         assert report.lost == 0

@@ -1,6 +1,10 @@
 """Tests for the Adreno pipeline model and counter registry."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.android.geometry import Rect
 from repro.android.layers import DrawOp, Layer, Scene, solid_quad
@@ -188,6 +192,88 @@ class TestPipeline:
     def test_ras_cycles_positive_when_visible(self, pipeline):
         scene = scene_with(Layer("l").add(solid_quad(Rect(0, 0, 64, 64))))
         assert pipeline.render(scene).increment.get(pc.RAS_SUPERTILE_ACTIVE_CYCLES) > 0
+
+
+@st.composite
+def scenes(draw):
+    """Random multi-layer scenes spanning the simulator's op shapes."""
+    n_layers = draw(st.integers(min_value=1, max_value=4))
+    layers = []
+    for i in range(n_layers):
+        layer = Layer(f"layer{i}")
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            left = draw(st.integers(min_value=-32, max_value=512))
+            top = draw(st.integers(min_value=-32, max_value=512))
+            width = draw(st.integers(min_value=0, max_value=256))
+            height = draw(st.integers(min_value=0, max_value=256))
+            layer.add(
+                DrawOp(
+                    rect=Rect(left, top, left + width, top + height),
+                    coverage=draw(
+                        st.one_of(
+                            st.sampled_from([0.0, 0.3, 0.95, 1.0]),
+                            st.floats(min_value=0.0, max_value=1.0),
+                        )
+                    ),
+                    primitives=draw(st.integers(min_value=0, max_value=12)),
+                    opaque=draw(st.booleans()),
+                    textured=draw(st.booleans()),
+                )
+            )
+        layers.append(layer)
+    return Scene(layers)
+
+
+class TestRenderParity:
+    """The batched renderer must match the scalar reference exactly."""
+
+    @given(scene=scenes())
+    @settings(max_examples=150, deadline=None)
+    def test_random_scenes_match_reference(self, scene):
+        pipeline = AdrenoPipeline(adreno(650))
+        fast = pipeline.render(scene)
+        slow = pipeline.render_reference(scene)
+        assert fast.increment.values == slow.increment.values
+        assert fast.pixels_touched == slow.pixels_touched
+        assert fast.render_time_s == slow.render_time_s
+
+    @pytest.mark.parametrize("model", sorted(ADRENO_MODELS))
+    def test_keyboard_like_scenes_match_on_every_model(self, model):
+        rng = random.Random(model)
+        pipeline = AdrenoPipeline(adreno(model))
+        for _ in range(25):
+            background = Layer("bg").add(solid_quad(Rect(0, 0, 1080, 2280)))
+            keyboard = Layer("kbd").add(solid_quad(Rect(0, 1500, 1080, 2280)))
+            for _ in range(rng.randint(1, 30)):
+                x = rng.randrange(0, 1040)
+                y = rng.randrange(1500, 2240)
+                keyboard.add(
+                    DrawOp(
+                        rect=Rect(x, y, x + rng.randint(1, 90), y + rng.randint(1, 90)),
+                        coverage=rng.choice([0.25, 0.5, 1.0]),
+                        primitives=rng.randint(2, 8),
+                        opaque=rng.random() < 0.5,
+                        textured=rng.random() < 0.5,
+                    )
+                )
+            popup = Layer("popup").add(solid_quad(Rect(400, 1400, 560, 1600)))
+            scene = Scene([background, keyboard, popup])
+            fast = pipeline.render(scene)
+            slow = pipeline.render_reference(scene)
+            assert fast.increment.values == slow.increment.values
+            assert fast.pixels_touched == slow.pixels_touched
+
+    def test_single_op_per_layer_matches(self):
+        pipeline = AdrenoPipeline(adreno(640))
+        scene = Scene(
+            [
+                Layer("a").add(DrawOp(rect=Rect(0, 0, 7, 3), coverage=0.5)),
+                Layer("b").add(solid_quad(Rect(2, 1, 5, 9))),
+            ]
+        )
+        fast = pipeline.render(scene)
+        slow = pipeline.render_reference(scene)
+        assert fast.increment.values == slow.increment.values
 
 
 class TestAdrenoSpecs:

@@ -1,6 +1,6 @@
-"""Collector ingestion throughput: fault tolerance and codec comparison.
+"""Collector ingestion throughput: fault tolerance, codecs, and shards.
 
-Two measurements back the collector tier:
+Three measurements back the collector tier:
 
 1. **Fleet ingestion under faults** — the fleet-scale claim of
    ``docs/collector.md``: one asyncio collector sustains **>= 1000
@@ -15,6 +15,16 @@ Two measurements back the collector tier:
    instead of per-field JSON.  The binary floor is **>= 5000
    sessions/s**.
 
+3. **Sharded tier ingestion** — 100k simulated devices (multiplexed
+   over sender connections) streaming one journaled result each into a
+   4-shard :class:`CollectorTier` under the **harsh** fault profile,
+   with pipelined batch delivery (``pipeline_depth=32``): senders pack
+   bursts into single ``batch`` wire frames, and each shard pays one
+   read/journal-flush/ack per burst instead of per result.  Zero loss
+   is asserted outright, and the rate floor is **2x** the
+   single-collector binary floor — the point of running N collector
+   processes behind the batch path.
+
 The devices here are synthetic senders (pre-built payloads, no attack
 compute), because this bench measures the *network* layer: framing,
 ack round trips, dedup, the bounded queue, and aggregation.  End-to-end
@@ -26,6 +36,7 @@ duplicate frames) as the machine-readable record; CI uploads it as an
 artifact.
 """
 
+import dataclasses
 import threading
 import time
 
@@ -180,4 +191,140 @@ def test_codec_ingest_comparison():
         sessions=sent,
         profile="mild",
         codecs=["json", "binary"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# sharded tier
+
+
+#: Floor for the 4-shard tier: 2x the single-collector binary floor —
+#: the whole justification for running N collector processes.
+MIN_SHARDED_INGEST_RATE = 2.0 * MIN_BINARY_INGEST_RATE
+
+SHARDS = 4
+#: Logical devices streaming one session each; multiplexed over
+#: ``SENDER_THREADS`` connections because 100k OS threads is the wrong
+#: experiment — the collector dedups on the *payload's* device id.
+SHARDED_DEVICES = scaled(100_000)
+SENDER_THREADS = 64
+#: In-flight results per sender connection: bursts ride single batch
+#: frames, so the per-result ack round trip amortizes 32-fold.
+PIPELINE_DEPTH = 32
+
+#: Harsh-profile retry budget: P(drop)=0.25 per attempt means 14
+#: attempts leave ~1e-9 residual failure per frame — zero loss at 100k.
+SHARDED_RETRY = RetryPolicy(max_attempts=14, base_delay_s=0.002, max_delay_s=0.05)
+
+#: The harsh profile with sub-millisecond jitter: the bench keeps the
+#: profile's drop/jitter *probabilities* (0.25 each) but shrinks the
+#: jitter scale so the measurement is dominated by the tier, not by
+#: sleeping senders.
+HARSH = dataclasses.replace(FaultPlan.from_profile("harsh", seed=13), jitter_s=2e-4)
+
+
+def _stream_chunk(endpoint, sender_id, device_ids, config, errors, stats, slot):
+    """One sender connection carrying many logical devices' results."""
+    client = CollectorClient(
+        endpoint,
+        sender_id,
+        fault_plan=HARSH,
+        config=config,
+        seed_offset=slot,
+    )
+    try:
+        with client:
+            client.send_results(
+                _payload(device_id, 0) for device_id in device_ids
+            )
+    except Exception as exc:  # pragma: no cover - surfaced via `errors`
+        errors.append(exc)
+    stats[slot] = client.stats
+
+
+def test_sharded_tier_sustains_100k_devices(tmp_path):
+    from repro.collector import CollectorTier
+
+    config = CollectorConfig(
+        codec="binary",
+        queue_size=1024,
+        retry=SHARDED_RETRY,
+        shards=SHARDS,
+        journal_dir=str(tmp_path),
+        pipeline_depth=PIPELINE_DEPTH,
+    )
+    device_ids = [f"device-{d:06d}" for d in range(SHARDED_DEVICES)]
+    tier = CollectorTier(config, seed=17)
+    by_shard = tier.router.partition(device_ids)
+    per_shard_threads = max(1, SENDER_THREADS // SHARDS)
+
+    chunks = []  # (endpoint, sender_id, device slice)
+    threads = []
+    errors = []
+    with tier:
+        for shard, shard_devices in by_shard.items():
+            endpoint = tier.endpoints[shard]
+            for t in range(per_shard_threads):
+                chunk = shard_devices[t::per_shard_threads]
+                if chunk:
+                    chunks.append((endpoint, f"sender-{shard:02d}-{t:02d}", chunk))
+        stats = [None] * len(chunks)
+        threads = [
+            threading.Thread(
+                target=_stream_chunk,
+                args=(endpoint, sender_id, chunk, config, errors, stats, slot),
+                name=sender_id,
+            )
+            for slot, (endpoint, sender_id, chunk) in enumerate(chunks)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - started
+    assert not errors, f"senders failed: {errors}"
+
+    manifest = tier.merged_manifest(bench="sharded")
+    ingested = manifest.counters["collector.sessions_ingested"]
+    dupes = manifest.counters.get("collector.dupes_dropped", 0)
+    retries = sum(s.retries for s in stats)
+    drops = sum(s.injected_drops for s in stats)
+    rate = ingested / elapsed
+
+    print(
+        f"\nsharded ingestion: {SHARDED_DEVICES} devices over {SHARDS} shards, "
+        f"{len(threads)} sender connections, harsh faults"
+    )
+    print(
+        f"  ingested {ingested}/{SHARDED_DEVICES} in {elapsed:.2f}s -> "
+        f"{rate:.0f} sessions/s (floor {MIN_SHARDED_INGEST_RATE:.0f})"
+    )
+    print(f"  injected drops {drops}, retries {retries}, duplicate frames {dupes}")
+
+    # the durable-tier contract: harsh faults, zero loss, journaled
+    assert ingested == SHARDED_DEVICES
+    assert drops > 0, "harsh profile should have injected connection drops"
+    assert rate >= MIN_SHARDED_INGEST_RATE
+
+    bench = getattr(
+        test_collector_sustains_fleet_ingestion, "registry", MetricsRegistry()
+    )
+    bench.gauge("collector.bench_sharded_ingest_rate").set(rate)
+    bench.gauge("collector.bench_sharded_wall_s").set(elapsed)
+    bench.counter("collector.bench_sharded_sessions").inc(SHARDED_DEVICES)
+    bench.counter("collector.bench_sharded_retries").inc(retries)
+    bench.counter("collector.bench_sharded_injected_drops").inc(drops)
+    test_collector_sustains_fleet_ingestion.registry = bench
+    write_bench_manifest(
+        "collector",
+        bench,
+        devices=DEVICES,
+        sessions=DEVICES * SESSIONS_PER_DEVICE,
+        profile="mild",
+        codecs=["json", "binary"],
+        sharded_devices=SHARDED_DEVICES,
+        shards=SHARDS,
+        sharded_profile="harsh",
+        pipeline_depth=PIPELINE_DEPTH,
     )

@@ -77,8 +77,11 @@ from repro.collector import (
     CollectorConfig,
     CollectorHandle,
     CollectorServer,
+    CollectorTier,
+    DeviceRouter,
     FleetDriver,
     FleetReport,
+    KillDrill,
     RetryPolicy,
     SessionResultPayload,
 )
@@ -285,6 +288,9 @@ __all__ = [
     # fleet collection
     "FleetDriver",
     "FleetReport",
+    "KillDrill",
+    "CollectorTier",
+    "DeviceRouter",
     "CollectorServer",
     "CollectorHandle",
     "CollectorClient",
@@ -680,6 +686,7 @@ def run_fleet(
     collector: Optional[CollectorConfig] = None,
     metrics: Optional[MetricsRegistry] = None,
     device_threads: Optional[int] = None,
+    drill: Optional[KillDrill] = None,
     transport: Optional[str] = None,
     unix_path: Optional[str] = None,
     queue_size: Optional[int] = None,
@@ -699,7 +706,13 @@ def run_fleet(
     wire codec (``auto``/``binary``/``json``), backpressure bound,
     retry schedule.  The old ``transport=``/``unix_path=``/
     ``queue_size=``/``retry=`` keywords still work through a
-    deprecation shim.
+    deprecation shim.  ``collector.shards > 1`` scales the tier to N
+    collector *processes* behind the deterministic
+    :class:`~repro.collector.router.DeviceRouter`, each with a
+    write-ahead journal (``collector.journal_dir``; a scratch
+    directory when unset); ``drill`` scripts a SIGKILL/restart of one
+    shard mid-run to exercise journal replay
+    (:class:`~repro.collector.fleet.KillDrill`).
 
     Returns a :class:`FleetReport` — ingested payloads in (device,
     session) order, loss/duplicate/retry accounting, and the merged run
@@ -757,5 +770,6 @@ def run_fleet(
         collector=collector,
         metrics=metrics,
         device_threads=device_threads,
+        drill=drill,
     )
     return driver.run()

@@ -236,6 +236,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wire codec: auto negotiates the struct-packed binary frames "
         "and falls back to JSON for old peers; binary/json pin the choice",
     )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="collector processes; >1 stands up the sharded tier with a "
+        "deterministic device router and per-shard write-ahead journals",
+    )
+    fleet.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for the per-shard write-ahead journals (default: "
+        "a scratch directory deleted after the run)",
+    )
+    fleet.add_argument(
+        "--kill-drill",
+        action="store_true",
+        help="SIGKILL one collector shard mid-run and restart it, proving "
+        "the journal replay path end to end (requires --shards >= 2)",
+    )
     _add_workers_flag(fleet)
     _add_fault_flags(fleet)
     _add_metrics_flag(fleet)
@@ -452,26 +471,42 @@ def _cmd_attack(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.kill_drill and args.shards < 2:
+        print(
+            "error: --kill-drill needs --shards >= 2 (the fleet must "
+            "survive on the other shards while one is down)",
+            file=sys.stderr,
+        )
+        return 2
     config, target, scenario_name = _resolve_axes(args)
     cfg = _attack_config(args, recognize_device=False, scenario=scenario_name)
     registry = _metrics_registry(args)
     unix_path = None
     tmpdir = None
-    if args.transport == "unix":
+    if args.transport == "unix" and args.shards == 1:
+        # the sharded tier derives per-shard socket paths itself
         tmpdir = tempfile.TemporaryDirectory(prefix="repro-fleet-")
         unix_path = str(Path(tmpdir.name) / "collector.sock")
     print(f"training model for {config.config_key()} / {target.name} ...")
     store = train([(config, target)], config=cfg)
     try:
-        from repro.collector.fleet import FLEET_RETRY
+        from repro.collector.fleet import DRILL_RETRY, FLEET_RETRY, KillDrill
 
         collector_cfg = CollectorConfig(
             transport=args.transport,
             unix_path=unix_path,
             codec=args.codec,
             queue_size=args.queue_size,
-            retry=FLEET_RETRY,
+            # a drill takes a shard down for ~a second of process
+            # respawn; devices need the patient backoff to ride it out
+            retry=DRILL_RETRY if args.kill_drill else FLEET_RETRY,
+            shards=args.shards,
+            journal_dir=args.journal_dir,
         )
+        drill = KillDrill() if args.kill_drill else None
         report = run_fleet(
             store,
             config,
@@ -484,6 +519,7 @@ def _cmd_fleet(args) -> int:
             workers=args.workers,
             collector=collector_cfg,
             metrics=registry,
+            drill=drill,
         )
     finally:
         if tmpdir is not None:
@@ -491,8 +527,14 @@ def _cmd_fleet(args) -> int:
     print(
         f"fleet      : {report.devices} devices x {args.sessions} sessions "
         f"(transport={args.transport}, codec={args.codec}, "
-        f"workers={args.workers})"
+        f"shards={report.shards}, workers={args.workers})"
     )
+    if report.shards > 1:
+        drilled = " after a SIGKILL/restart drill" if args.kill_drill else ""
+        print(
+            f"tier       : {report.shards} collector processes, "
+            f"{report.replayed} journal records replayed{drilled}"
+        )
     print(
         f"ingested   : {report.ingested}/{report.sessions_total} results "
         f"({report.lost} lost, {report.duplicates_dropped} duplicate frames)"

@@ -23,15 +23,18 @@ from repro.collector.config import (
 )
 from repro.collector.fleet import (
     DEVICE_SEED_STRIDE,
+    DRILL_RETRY,
     DeviceOutcome,
     FleetDriver,
     FleetReport,
+    KillDrill,
     trace_counter_deltas,
 )
 from repro.collector.frames import (
     BINARY_CODEC,
     JSON_CODEC,
     Ack,
+    Batch,
     Bye,
     ByeOk,
     Frame,
@@ -58,11 +61,34 @@ from repro.collector.framing import (
     encode_frame,
     read_frame_sock,
 )
+from repro.collector.journal import (
+    JOURNAL_SYNC_MODES,
+    CollectorJournal,
+    JournalError,
+    JournalRecovery,
+    count_journal_records,
+    dedupe_records,
+    journal_path,
+    read_journal,
+)
+from repro.collector.router import CollectorTier, DeviceRouter
 from repro.collector.server import CollectorHandle, CollectorServer
 
 __all__ = [
     "CollectorServer",
     "CollectorHandle",
+    "CollectorTier",
+    "DeviceRouter",
+    "CollectorJournal",
+    "JournalError",
+    "JournalRecovery",
+    "JOURNAL_SYNC_MODES",
+    "journal_path",
+    "read_journal",
+    "count_journal_records",
+    "dedupe_records",
+    "KillDrill",
+    "DRILL_RETRY",
     "CollectorClient",
     "CollectorClientError",
     "CollectorConfig",
@@ -85,6 +111,7 @@ __all__ = [
     "HelloOk",
     "Result",
     "Ack",
+    "Batch",
     "Metrics",
     "MetricsOk",
     "Bye",

@@ -25,6 +25,7 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from repro.collector.framing import MAX_FRAME_BYTES
+from repro.collector.journal import JOURNAL_SYNC_MODES
 
 #: Codec selection values accepted by :attr:`CollectorConfig.codec`.
 CODECS = ("auto", "binary", "json")
@@ -98,6 +99,31 @@ class CollectorConfig:
             beyond it is a protocol error (``FrameTooLarge``), never an
             allocation request.
         retry: the client's backoff schedule for failed deliveries.
+        shards: how many collector processes the tier runs.  ``1``
+            (default) is the in-process single collector; ``> 1``
+            stands up N :class:`CollectorServer` processes behind the
+            deterministic device router
+            (:mod:`repro.collector.router`).
+        journal_dir: directory for the per-shard write-ahead journals
+            (:mod:`repro.collector.journal`).  Set it and a killed
+            collector replays its journal on restart, making the
+            exactly-once contract durable; ``None`` keeps dedup state
+            in memory only.  One directory holds exactly one logical
+            run — reusing it replays the previous run's results.
+        journal_sync: journal durability policy — ``"flush"``
+            (default, survives SIGKILL), ``"fsync"`` (survives OS
+            crash), ``"none"`` (buffered; throughput experiments).
+        pipeline_depth: how many result frames
+            :meth:`~repro.collector.client.CollectorClient.send_results`
+            keeps in flight before blocking on the oldest ack.  ``1``
+            (default) is the classic lock-step ``send → await ack``
+            round trip; ``> 1`` pipelines a window of frames per
+            connection, amortizing the per-frame syscall and context
+            switch — the difference between a device trickling live
+            sessions and a backlog upload saturating the tier.  The
+            delivery contract is unchanged: frames are acked in order,
+            anything unacked when a connection dies is resent, and the
+            server's ``(device_id, seq)`` dedup absorbs the overlap.
     """
 
     transport: str = "tcp"
@@ -111,6 +137,10 @@ class CollectorConfig:
     timeout_s: float = 10.0
     max_frame_bytes: int = MAX_FRAME_BYTES
     retry: RetryPolicy = RetryPolicy()
+    shards: int = 1
+    journal_dir: Optional[str] = None
+    journal_sync: str = "flush"
+    pipeline_depth: int = 1
 
     def __post_init__(self) -> None:
         if self.transport not in ("tcp", "unix"):
@@ -129,6 +159,18 @@ class CollectorConfig:
             raise ValueError("max_frame_bytes must be >= 1")
         if not isinstance(self.retry, RetryPolicy):
             raise TypeError("retry must be a RetryPolicy")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.journal_dir is not None and not isinstance(self.journal_dir, str):
+            # keep the config JSON-serializable when a Path is passed
+            object.__setattr__(self, "journal_dir", str(self.journal_dir))
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if self.journal_sync not in JOURNAL_SYNC_MODES:
+            raise ValueError(
+                f"journal_sync must be one of {JOURNAL_SYNC_MODES}, "
+                f"got {self.journal_sync!r}"
+            )
 
     def with_overrides(self, **overrides) -> "CollectorConfig":
         """A copy with ``overrides`` applied (the deprecation-shim seam)."""

@@ -34,6 +34,9 @@ layer, not to replace :mod:`repro.parallel`.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -46,6 +49,8 @@ from repro.collector.client import (
 )
 from repro.collector.config import CollectorConfig, RetryPolicy, shim_legacy_kwargs
 from repro.collector.framing import SessionResultPayload
+from repro.collector.journal import count_journal_records
+from repro.collector.router import CollectorTier
 from repro.collector.server import CollectorHandle
 from repro.obs import MetricsRegistry, RunManifest
 
@@ -56,6 +61,13 @@ DEVICE_SEED_STRIDE = 1000
 #: Fleet runs default to a fast backoff: simulated devices should not
 #: serialize a test run on wall-clock sleeps.
 FLEET_RETRY = RetryPolicy(base_delay_s=0.01, max_delay_s=0.25)
+
+#: A drill-friendly backoff: enough budget to ride out a SIGKILL'd
+#: shard's restart (~1s of process spawn) without hours of max_delay.
+DRILL_RETRY = RetryPolicy(max_attempts=16, base_delay_s=0.02, max_delay_s=0.5)
+
+#: How long the driver waits for the drill thread after devices finish.
+SHARD_JOIN_TIMEOUT_S = 60.0
 
 #: Legacy per-call keywords → the CollectorConfig field each one sets.
 _LEGACY_FLEET_KWARGS = {
@@ -93,6 +105,35 @@ class DeviceOutcome:
     error: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class KillDrill:
+    """A scripted SIGKILL/restart of one collector shard mid-fleet.
+
+    The fault drill the durable tier exists to pass: once shard
+    ``shard``'s journal holds at least ``after_results`` records (i.e.
+    it has acked real work), the driver SIGKILLs that shard's process,
+    waits ``restart_delay_s``, and restarts it on the same endpoint.
+    Devices routed to the dead shard retry through the outage — size
+    the collector's :class:`RetryPolicy` budget to cover the restart
+    (spawning a fresh process takes on the order of a second).  If the
+    fleet finishes before the trigger threshold is reached, the kill
+    fires anyway at the end, so the drill never silently degrades into
+    a no-op.
+    """
+
+    shard: int = 0
+    after_results: int = 1
+    restart_delay_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError("shard must be >= 0")
+        if self.after_results < 1:
+            raise ValueError("after_results must be >= 1")
+        if self.restart_delay_s < 0:
+            raise ValueError("restart_delay_s must be >= 0")
+
+
 @dataclass
 class FleetReport:
     """Everything one fleet run produced, from both ends of the wire."""
@@ -112,6 +153,8 @@ class FleetReport:
     results: List[SessionResultPayload] = field(default_factory=list)
     outcomes: List[DeviceOutcome] = field(default_factory=list)
     manifest: Optional[RunManifest] = None
+    shards: int = 1
+    replayed: int = 0
 
     @property
     def exact_rate(self) -> float:
@@ -140,6 +183,8 @@ class FleetDriver:
             also records a device-side registry, ships its snapshot, and
             the merged collector registry is folded back into ``metrics``.
         device_threads: thread-pool width for concurrent devices.
+        drill: optional :class:`KillDrill` — SIGKILL + restart one
+            collector shard mid-run (requires ``collector.shards > 1``).
     """
 
     def __init__(
@@ -156,6 +201,7 @@ class FleetDriver:
         collector: Optional[CollectorConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         device_threads: Optional[int] = None,
+        drill: Optional[KillDrill] = None,
         **legacy,
     ) -> None:
         if devices < 1:
@@ -171,6 +217,14 @@ class FleetDriver:
         collector = shim_legacy_kwargs(
             collector, legacy, "FleetDriver", _LEGACY_FLEET_KWARGS
         )
+        if drill is not None:
+            if collector.shards < 2:
+                raise ValueError("a kill drill requires collector.shards >= 2")
+            if drill.shard >= collector.shards:
+                raise ValueError(
+                    f"drill.shard {drill.shard} out of range for "
+                    f"{collector.shards} shards"
+                )
         self.store = store
         self.device_config = device_config
         self.target = target
@@ -183,6 +237,7 @@ class FleetDriver:
         self.collector = collector
         self.metrics = metrics
         self.device_threads = device_threads
+        self.drill = drill
 
     # ------------------------------------------------------------------
 
@@ -250,34 +305,41 @@ class FleetDriver:
             stats=client.stats,
         )
 
+    def _run_pool(self, endpoint_of) -> List[DeviceOutcome]:
+        """Run every device on the thread pool; ``endpoint_of(d)`` routes."""
+        outcomes: List[DeviceOutcome] = []
+        width = self.device_threads or min(self.devices, 8)
+        with ThreadPoolExecutor(max_workers=width) as pool:
+            futures = [
+                pool.submit(self._run_device, d, endpoint_of(d))
+                for d in range(self.devices)
+            ]
+            for d, future in enumerate(futures):
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:  # a device died outright
+                    outcomes.append(
+                        DeviceOutcome(
+                            device_id=f"device-{d:04d}",
+                            sessions=self.sessions_per_device,
+                            delivered=0,
+                            undelivered=self.sessions_per_device,
+                            exact=0,
+                            stats=ClientStats(),
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+        return outcomes
+
     def run(self) -> FleetReport:
         """Stand up the collector, run every device, drain, and report."""
+        if self.collector.shards > 1:
+            return self._run_sharded()
         handle = CollectorHandle(self.collector)
         endpoint = handle.start()
         started = time.perf_counter()
-        outcomes: List[DeviceOutcome] = []
         try:
-            width = self.device_threads or min(self.devices, 8)
-            with ThreadPoolExecutor(max_workers=width) as pool:
-                futures = [
-                    pool.submit(self._run_device, d, endpoint)
-                    for d in range(self.devices)
-                ]
-                for d, future in enumerate(futures):
-                    try:
-                        outcomes.append(future.result())
-                    except Exception as exc:  # a device died outright
-                        outcomes.append(
-                            DeviceOutcome(
-                                device_id=f"device-{d:04d}",
-                                sessions=self.sessions_per_device,
-                                delivered=0,
-                                undelivered=self.sessions_per_device,
-                                exact=0,
-                                stats=ClientStats(),
-                                error=f"{type(exc).__name__}: {exc}",
-                            )
-                        )
+            outcomes = self._run_pool(lambda d: endpoint)
         finally:
             handle.stop(drain=True)
         wall = time.perf_counter() - started
@@ -333,4 +395,116 @@ class FleetDriver:
             )
         else:
             report.manifest = server.report(**meta)
+        return report
+
+    # -- sharded tier ---------------------------------------------------
+
+    def _run_drill(self, tier: CollectorTier, devices_done: threading.Event,
+                   errors: List[BaseException]) -> None:
+        """The kill/restart drill: trigger, SIGKILL, wait, respawn."""
+        drill = self.drill
+        wal = tier.journal_file(drill.shard)
+        try:
+            while not devices_done.is_set():
+                admitted = count_journal_records(
+                    wal, self.collector.max_frame_bytes
+                )
+                if admitted >= drill.after_results:
+                    break
+                time.sleep(0.02)
+            # fire even if the fleet beat us to the finish line: the
+            # restarted shard must still replay to a correct manifest
+            tier.kill(drill.shard)
+            time.sleep(drill.restart_delay_s)
+            tier.restart(drill.shard)
+        except BaseException as exc:
+            errors.append(exc)
+
+    def _run_sharded(self) -> FleetReport:
+        """The multi-process path: router + journaled shards + merge."""
+        collector = self.collector
+        tmp_dir: Optional[str] = None
+        if collector.journal_dir is None:
+            # the tier requires journals (they carry the results back);
+            # an unset journal_dir means "ephemeral run", so host the
+            # journals in a scratch dir that dies with the report
+            tmp_dir = tempfile.mkdtemp(prefix="repro-collector-")
+            collector = collector.with_overrides(journal_dir=tmp_dir)
+        tier = CollectorTier(collector, seed=self.seed)
+        tier.start()
+        started = time.perf_counter()
+        devices_done = threading.Event()
+        drill_errors: List[BaseException] = []
+        drill_thread: Optional[threading.Thread] = None
+        try:
+            if self.drill is not None:
+                drill_thread = threading.Thread(
+                    target=self._run_drill,
+                    args=(tier, devices_done, drill_errors),
+                    name="repro-kill-drill",
+                    daemon=True,
+                )
+                drill_thread.start()
+            outcomes = self._run_pool(
+                lambda d: tier.endpoint_for(f"device-{d:04d}")
+            )
+            devices_done.set()
+            if drill_thread is not None:
+                drill_thread.join(timeout=SHARD_JOIN_TIMEOUT_S)
+        finally:
+            devices_done.set()
+            tier.stop()
+        wall = time.perf_counter() - started
+        if drill_errors:
+            raise RuntimeError(
+                f"kill drill failed: {drill_errors[0]!r}"
+            ) from drill_errors[0]
+        sessions_total = self.devices * self.sessions_per_device
+        meta = {
+            "command": "fleet",
+            "devices": self.devices,
+            "sessions": sessions_total,
+            "workers": self.workers,
+            "codec": collector.codec,
+            "shards": collector.shards,
+        }
+        manifest = tier.merged_manifest(**meta)
+        counters = manifest.counters
+        ingested = int(counters.get("collector.sessions_ingested", 0))
+        payloads, _journal_dupes = tier.journal_results()
+        results = sorted(payloads, key=lambda p: (p.device_id, p.session_index))
+        if self.metrics is not None and self.metrics.enabled:
+            self.metrics.merge_snapshot(
+                {
+                    "counters": manifest.counters,
+                    "gauges": manifest.gauges,
+                    "histograms": manifest.histograms,
+                    "spans": manifest.spans,
+                }
+            )
+            manifest = self.metrics.manifest(config=self.config.to_dict(), **meta)
+        report = FleetReport(
+            devices=self.devices,
+            sessions_total=sessions_total,
+            ingested=ingested,
+            lost=sessions_total - ingested,
+            duplicates_dropped=int(counters.get("collector.dupes_dropped", 0)),
+            exact=int(counters.get("collector.sessions_exact", 0)),
+            degraded=int(counters.get("collector.sessions_degraded", 0)),
+            retries=sum(o.stats.retries for o in outcomes),
+            reconnects=sum(o.stats.reconnects for o in outcomes),
+            wall_s=wall,
+            ingest_rate=ingested / wall if wall > 0 else 0.0,
+            codec_counts={
+                name: int(counters.get(f"collector.codec.{name}", 0))
+                for name in ("binary", "json")
+            },
+            results=results,
+            outcomes=outcomes,
+            manifest=manifest,
+            shards=collector.shards,
+            replayed=int(counters.get("collector.journal.replayed", 0)),
+        )
+        if tmp_dir is not None:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
         return report

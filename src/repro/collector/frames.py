@@ -1,9 +1,10 @@
 """Typed collector frames and the two wire codecs (JSON and binary).
 
-Every message on a collector connection is one of nine frame kinds,
+Every message on a collector connection is one of ten frame kinds,
 modeled here as frozen dataclasses — :class:`Hello`, :class:`HelloOk`,
-:class:`Result`, :class:`Ack`, :class:`Metrics`, :class:`MetricsOk`,
-:class:`Bye`, :class:`ByeOk`, :class:`ProtocolError` — instead of the
+:class:`Result`, :class:`Batch`, :class:`Ack`, :class:`Metrics`,
+:class:`MetricsOk`, :class:`Bye`, :class:`ByeOk`,
+:class:`ProtocolError` — instead of the
 ad-hoc ``{"type": ...}`` dicts that previously leaked through
 ``framing.py``/``server.py``/``client.py``.  Each codec exposes one
 ``encode`` / ``decode`` entry point; :func:`decode_any` dispatches on
@@ -74,6 +75,7 @@ TAG_BYE = 0x84
 TAG_METRICS_OK = 0x85
 TAG_BYE_OK = 0x86
 TAG_ERROR = 0x87
+TAG_BATCH = 0x88
 
 _FLAG_DEGRADED = 1
 _FLAG_EXACT_PRESENT = 2
@@ -85,6 +87,8 @@ _FLAG_HAS_EXTRA = 16
 #: seed, n_keys, three tail lengths, 11 counter deltas.
 _RESULT = struct.Struct(">BBHIIqIIII11Q")
 _ACK = struct.Struct(">BI")
+_BATCH_HEAD = struct.Struct(">BI")
+_BATCH_ITEM_LEN = struct.Struct(">I")
 
 _U32_MAX = 2 ** 32 - 1
 _U64_MAX = 2 ** 64 - 1
@@ -119,6 +123,24 @@ class Result:
     @property
     def device_id(self) -> str:
         return self.payload.device_id
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Many results on one wire frame, acked together.
+
+    The pipelined client (``CollectorConfig.pipeline_depth > 1``) packs
+    a burst of :class:`Result` frames — each with its own ``seq`` and
+    dedup identity — into one batch, and the server answers with a
+    single :class:`Ack` carrying the *last* member's ``seq``.  Acks are
+    cumulative: an ack for seq *n* acknowledges every in-flight frame
+    with seq ≤ *n* on that connection.  This collapses the per-result
+    read/decode/journal-flush/ack round trip that dominates bulk
+    uploads into one round trip per burst, without changing the
+    delivery contract (members are deduplicated individually).
+    """
+
+    frames: Tuple[Result, ...]
 
 
 @dataclass(frozen=True)
@@ -160,7 +182,9 @@ class ProtocolError:
     error: str
 
 
-Frame = Union[Hello, HelloOk, Result, Ack, Metrics, MetricsOk, Bye, ByeOk, ProtocolError]
+Frame = Union[
+    Hello, HelloOk, Result, Batch, Ack, Metrics, MetricsOk, Bye, ByeOk, ProtocolError
+]
 
 
 # -- JSON codec ---------------------------------------------------------
@@ -188,6 +212,11 @@ def frame_to_dict(frame: Frame) -> Dict[str, object]:
             "device_id": frame.payload.device_id,
             "seq": frame.seq,
             "payload": frame.payload.to_dict(),
+        }
+    if isinstance(frame, Batch):
+        return {
+            "type": "batch",
+            "frames": [frame_to_dict(item) for item in frame.frames],
         }
     if isinstance(frame, Ack):
         return {"type": "ack", "seq": frame.seq}
@@ -228,6 +257,19 @@ def frame_from_dict(obj: Dict[str, object]) -> Frame:
             if not isinstance(seq, int) or not isinstance(payload, dict):
                 raise FrameError(f"malformed result frame: {obj!r}")
             return Result(seq=seq, payload=SessionResultPayload.from_dict(payload))
+        if kind == "batch":
+            items = obj.get("frames")
+            if not isinstance(items, list) or not items:
+                raise FrameError(f"malformed batch frame: {obj!r}")
+            members = []
+            for item in items:
+                if not isinstance(item, dict):
+                    raise FrameError(f"malformed batch member: {item!r}")
+                member = frame_from_dict(item)
+                if not isinstance(member, Result):
+                    raise FrameError(f"batch member is not a result: {item!r}")
+                members.append(member)
+            return Batch(frames=tuple(members))
         if kind == "ack":
             seq = obj.get("seq")
             if not isinstance(seq, int):
@@ -385,6 +427,42 @@ def _decode_result_binary(body: bytes) -> Result:
     return Result(seq=seq, payload=payload)
 
 
+def _encode_batch_binary(frame: Batch) -> bytes:
+    if not frame.frames:
+        raise FrameError("batch frame must carry at least one result")
+    parts = [_BATCH_HEAD.pack(TAG_BATCH, len(frame.frames))]
+    for item in frame.frames:
+        body = _encode_result_binary(item)
+        parts.append(_BATCH_ITEM_LEN.pack(len(body)))
+        parts.append(body)
+    return b"".join(parts)
+
+
+def _decode_batch_binary(body: bytes) -> Batch:
+    if len(body) < _BATCH_HEAD.size:
+        raise FrameError(f"binary batch header truncated ({len(body)} bytes)")
+    _tag, count = _BATCH_HEAD.unpack_from(body)
+    if count < 1:
+        raise FrameError("binary batch must carry at least one result")
+    members = []
+    offset = _BATCH_HEAD.size
+    for _ in range(count):
+        if len(body) - offset < _BATCH_ITEM_LEN.size:
+            raise FrameError("binary batch member length truncated")
+        (item_len,) = _BATCH_ITEM_LEN.unpack_from(body, offset)
+        offset += _BATCH_ITEM_LEN.size
+        end = offset + item_len
+        if end > len(body):
+            raise FrameError("binary batch member body truncated")
+        members.append(_decode_result_binary(body[offset:end]))
+        offset = end
+    if offset != len(body):
+        raise FrameError(
+            f"binary batch length mismatch: {len(body) - offset} trailing bytes"
+        )
+    return Batch(frames=tuple(members))
+
+
 def _json_tail_frame(tag: int, obj: Dict[str, object]) -> bytes:
     return bytes([tag]) + json.dumps(
         obj, separators=(",", ":"), sort_keys=True
@@ -412,6 +490,8 @@ class BinaryCodec:
             return JSON_CODEC.encode(frame, max_bytes)
         if isinstance(frame, Result):
             body = _encode_result_binary(frame)
+        elif isinstance(frame, Batch):
+            body = _encode_batch_binary(frame)
         elif isinstance(frame, Ack):
             if not 0 <= frame.seq <= _U32_MAX:
                 raise FrameError(f"seq {frame.seq} does not fit u32")
@@ -471,6 +551,8 @@ def decode_any(body: bytes) -> Frame:
         return JSON_CODEC.decode(body)
     if first == TAG_RESULT:
         return _decode_result_binary(body)
+    if first == TAG_BATCH:
+        return _decode_batch_binary(body)
     if first == TAG_ACK:
         if len(body) != _ACK.size:
             raise FrameError(f"binary ack must be {_ACK.size} bytes, got {len(body)}")

@@ -26,7 +26,17 @@ client's retry discipline composes with the server's admission control.
 Delivery contract: resends are deduplicated by ``(device_id, seq)``
 (counted as ``collector.dupes_dropped`` and re-acked), so a client that
 resends until acked gets **exactly-once aggregation** over an
-at-least-once transport.
+at-least-once transport.  A seq is marked seen only *after* its enqueue
+succeeds (a handler cancelled mid-``put`` has admitted nothing, so the
+client's resend must aggregate, not dupe-ack); concurrent resends of a
+frame whose original admission is still blocked in ``put`` wait on that
+admission's outcome instead of double-admitting.  With
+``config.journal_dir`` set the contract is *durable*: every admitted
+result is appended to a write-ahead journal
+(:mod:`repro.collector.journal`) before its ack, and ``start()``
+replays the journal — rebuilding the dedup set and re-aggregating every
+journaled payload — so a SIGKILL'd collector resumes exactly-once
+aggregation where it died.
 
 Protocol errors are clean: an oversized length prefix or a peer closing
 mid-frame counts ``collector.frames.rejected`` and closes the
@@ -50,6 +60,7 @@ daemon thread and exposes plain ``start()`` / ``stop()``.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from typing import Dict, List, Optional, Set, Tuple
@@ -57,6 +68,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.collector.config import CollectorConfig, shim_legacy_kwargs
 from repro.collector.frames import (
     Ack,
+    Batch,
     Bye,
     ByeOk,
     Hello,
@@ -77,6 +89,12 @@ from repro.collector.framing import (
     FrameTruncated,
     SessionResultPayload,
     read_body_async,
+)
+from repro.collector.journal import (
+    CollectorJournal,
+    JournalError,
+    JournalRecovery,
+    journal_path,
 )
 from repro.obs import MetricsRegistry, RunManifest
 
@@ -111,7 +129,11 @@ class CollectorServer:
             (aggregation-only deployments can turn this off).
         on_result: optional callback invoked by the aggregator for every
             accepted payload (runs on the event loop — keep it short, or
-            rely on the queue bound to absorb it).
+            rely on the queue bound to absorb it).  Journal replay does
+            *not* re-invoke it: replayed payloads land in counters and
+            ``results`` only.
+        shard_index: which shard of a collector tier this server is
+            (names its journal file; ``0`` for a standalone collector).
     """
 
     def __init__(
@@ -121,6 +143,7 @@ class CollectorServer:
         metrics: Optional[MetricsRegistry] = None,
         keep_results: bool = True,
         on_result=None,
+        shard_index: int = 0,
         **legacy,
     ) -> None:
         config = shim_legacy_kwargs(
@@ -139,6 +162,7 @@ class CollectorServer:
         self.registry = metrics if metrics is not None else MetricsRegistry()
         self.keep_results = keep_results
         self.on_result = on_result
+        self.shard_index = shard_index
 
         self.results: List[SessionResultPayload] = []
         self._queue: Optional[asyncio.Queue] = None
@@ -146,17 +170,46 @@ class CollectorServer:
         self._aggregator: Optional[asyncio.Task] = None
         self._handlers: Set[asyncio.Task] = set()
         self._seen: Dict[str, Set[int]] = {}
+        self._pending: Dict[Tuple[str, int], asyncio.Future] = {}
+        self._devices: Set[str] = set()
+        self._journal: Optional[CollectorJournal] = None
         self._queue_peak = 0
         self._started_at: Optional[float] = None
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> Endpoint:
-        """Bind, start serving, and return the connectable endpoint."""
+        """Bind, start serving, and return the connectable endpoint.
+
+        A restart after :meth:`stop` begins a fresh run: the volatile
+        aggregation state of the previous life (``results``, the
+        ``_seen`` dedup set, queue stats, device tally) is reset so a
+        new fleet's seqs — which restart at 0 per client — are not
+        swallowed as duplicates.  Durable dedup is the journal's job:
+        when ``config.journal_dir`` is set, the journal is replayed
+        here and rebuilds exactly the state that must survive.
+        """
         if self._server is not None:
             raise RuntimeError("collector already started")
+        self.results = []
+        self._seen = {}
+        self._pending = {}
+        self._devices = set()
+        self._queue_peak = 0
         self._queue = asyncio.Queue(maxsize=self.queue_size)
+        if self.config.journal_dir is not None:
+            self._journal = CollectorJournal(
+                journal_path(self.config.journal_dir, self.shard_index),
+                sync=self.config.journal_sync,
+                max_frame_bytes=self.max_frame_bytes,
+            )
+            self._replay(self._journal.open())
         if self.transport == "unix":
+            try:
+                # a previous life's socket file blocks the rebind
+                os.unlink(self.unix_path)
+            except (FileNotFoundError, OSError):
+                pass
             self._server = await asyncio.start_unix_server(
                 self._on_connection, path=self.unix_path
             )
@@ -198,6 +251,8 @@ class CollectorServer:
         await self._queue.join()
         self._aggregator.cancel()
         await asyncio.gather(self._aggregator, return_exceptions=True)
+        if self._journal is not None:
+            self._journal.close()
         wall = time.perf_counter() - (self._started_at or time.perf_counter())
         self.registry.gauge("collector.wall_s").set(wall)
         if wall > 0:
@@ -243,7 +298,9 @@ class CollectorServer:
                     # reject loudly, reply if the peer is still there,
                     # and close — never read the claimed body
                     counters("collector.frames.rejected").inc()
-                    writer.write(reply_codec.encode(ProtocolError(str(exc))))
+                    await self._reply_best_effort(
+                        writer, reply_codec.encode(ProtocolError(str(exc)))
+                    )
                     return
                 except FrameTruncated:
                     # the peer died mid-frame: nothing left to reply to —
@@ -252,7 +309,9 @@ class CollectorServer:
                     return
                 except FrameError as exc:
                     counters("collector.malformed_frames").inc()
-                    writer.write(reply_codec.encode(ProtocolError(str(exc))))
+                    await self._reply_best_effort(
+                        writer, reply_codec.encode(ProtocolError(str(exc)))
+                    )
                     return
                 if isinstance(frame, Result):
                     device_id = frame.device_id or device_id
@@ -260,13 +319,25 @@ class CollectorServer:
                         counters("collector.malformed_frames").inc()
                         return
                     writer.write(reply_codec.encode(Ack(seq=frame.seq)))
+                elif isinstance(frame, Batch):
+                    device_id = frame.frames[-1].device_id or device_id
+                    await self._admit_batch(frame)
+                    # a batch's ack is cumulative: the last member's seq
+                    # acknowledges every member
+                    writer.write(reply_codec.encode(Ack(seq=frame.frames[-1].seq)))
                 elif isinstance(frame, Hello):
                     device_id = frame.device_id
                     if frame.proto != PROTO_VERSION:
                         counters("collector.proto_rejected").inc()
-                        writer.write(reply_codec.encode(ProtocolError("proto mismatch")))
+                        await self._reply_best_effort(
+                            writer, reply_codec.encode(ProtocolError("proto mismatch"))
+                        )
                         return
-                    counters("collector.devices_seen").inc()
+                    # a device is seen once, however many times it
+                    # reconnects — `devices_seen` must equal fleet size
+                    if frame.device_id not in self._devices:
+                        self._devices.add(frame.device_id)
+                        counters("collector.devices_seen").inc()
                     chosen = negotiate_codec(frame.codecs, self.codec)
                     reply_codec = codec_for(chosen)
                     counters(f"collector.codec.{chosen}").inc()
@@ -301,48 +372,210 @@ class CollectorServer:
             except (ConnectionError, OSError):
                 pass
 
+    @staticmethod
+    async def _reply_best_effort(writer: asyncio.StreamWriter, data: bytes) -> None:
+        """Write + drain a terminal error reply, swallowing peer death.
+
+        Without the drain the typed reply can sit in the transport
+        buffer when the handler closes the socket and the peer sees a
+        bare reset instead of the error; with it, a peer that is
+        already gone must not turn the reply into a handler crash.
+        """
+        try:
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
     async def _admit_result(self, frame: Result) -> bool:
         """Dedup-check one result frame and enqueue it; False = malformed.
 
         The enqueue is the backpressure point: with the queue full this
         awaits, the connection stops reading, and the client blocks in
         ``send`` until the aggregator catches up.
+
+        Ordering is the whole contract: a seq is marked seen (and
+        journaled, and acked) only *after* its ``put`` succeeds.  A
+        handler cancelled mid-``put`` — the drain-timeout path of
+        :meth:`stop` — has admitted nothing, so the client's resend
+        must aggregate rather than dupe-ack.  While an admission is
+        blocked in ``put``, a concurrent resend of the same ``(device,
+        seq)`` waits on its claim future instead of double-admitting:
+        the future resolves True once the original lands (resend →
+        dupe-ack) or False if it was abandoned (resend retries the
+        admission itself).
         """
         payload = frame.payload
         self.registry.counter("collector.frames_ingested").inc()
-        seen = self._seen.setdefault(payload.device_id, set())
-        if frame.seq in seen:
-            # a resend of something already admitted (its ack was lost);
-            # re-ack without re-aggregating
-            self.registry.counter("collector.dupes_dropped").inc()
-            return True
-        seen.add(frame.seq)
-        await self._queue.put(payload)
+        key = (payload.device_id, frame.seq)
+        while True:
+            seen = self._seen.setdefault(payload.device_id, set())
+            if frame.seq in seen:
+                # a resend of something already admitted (its ack was
+                # lost); re-ack without re-aggregating
+                self.registry.counter("collector.dupes_dropped").inc()
+                return True
+            claim = self._pending.get(key)
+            if claim is None:
+                break
+            if await asyncio.shield(claim):
+                self.registry.counter("collector.dupes_dropped").inc()
+                return True
+            # the original admission was cancelled mid-put: loop and
+            # admit this resend ourselves
+        claim = asyncio.get_running_loop().create_future()
+        self._pending[key] = claim
+        try:
+            await self._queue.put(payload)
+        except BaseException:
+            claim.set_result(False)
+            raise
+        else:
+            # no awaits from here to set_result: admission is atomic
+            # once the payload is in the queue
+            if self._journal is not None:
+                try:
+                    self._journal.append(frame)
+                except (JournalError, OSError):
+                    self.registry.counter("collector.journal.errors").inc()
+            self._seen.setdefault(payload.device_id, set()).add(frame.seq)
+            claim.set_result(True)
+        finally:
+            self._pending.pop(key, None)
         depth = self._queue.qsize()
         if depth > self._queue_peak:
             self._queue_peak = depth
         self.registry.gauge("collector.queue_depth").set(depth)
         return True
 
+    async def _admit_batch(self, batch: Batch) -> None:
+        """Admit a batch: per-member dedup, one enqueue, one journal record.
+
+        Each member carries its own ``(device_id, seq)`` identity and is
+        deduplicated exactly as a lone result would be — a resent batch
+        overlapping an earlier one admits only the unseen members.  The
+        fresh members ride the bounded queue as **one** item and land in
+        the journal as **one** record, which is the point: the
+        per-result flush/enqueue/ack cost that bounds single-frame
+        ingest is paid once per burst.  The same ordering contract
+        holds — members are marked seen (and journaled) only after the
+        enqueue succeeds, and concurrent resends of an in-flight member
+        wait on its claim future.
+        """
+        counters = self.registry.counter
+        counters("collector.frames_ingested").inc(len(batch.frames))
+        counters("collector.batch_frames").inc()
+        loop = asyncio.get_running_loop()
+        fresh: List[Result] = []
+        claims: List[asyncio.Future] = []
+        keys: List[Tuple[str, int]] = []
+        claimed = set()
+        try:
+            for item in batch.frames:
+                key = (item.payload.device_id, item.seq)
+                if key in claimed:
+                    # a malformed batch repeating a member admits it once
+                    counters("collector.dupes_dropped").inc()
+                    continue
+                while True:
+                    seen = self._seen.setdefault(item.payload.device_id, set())
+                    if item.seq in seen:
+                        counters("collector.dupes_dropped").inc()
+                        break
+                    claim = self._pending.get(key)
+                    if claim is None:
+                        fut = loop.create_future()
+                        self._pending[key] = fut
+                        claimed.add(key)
+                        fresh.append(item)
+                        claims.append(fut)
+                        keys.append(key)
+                        break
+                    if await asyncio.shield(claim):
+                        counters("collector.dupes_dropped").inc()
+                        break
+                    # the original admission was abandoned: retry ourselves
+            if fresh:
+                await self._queue.put([item.payload for item in fresh])
+        except BaseException:
+            for fut in claims:
+                fut.set_result(False)
+            raise
+        else:
+            if fresh:
+                if self._journal is not None:
+                    try:
+                        self._journal.append(Batch(frames=tuple(fresh)))
+                    except (JournalError, OSError):
+                        counters("collector.journal.errors").inc()
+                for item, fut in zip(fresh, claims):
+                    self._seen.setdefault(item.payload.device_id, set()).add(item.seq)
+                    fut.set_result(True)
+        finally:
+            for key in keys:
+                self._pending.pop(key, None)
+        depth = self._queue.qsize()
+        if depth > self._queue_peak:
+            self._queue_peak = depth
+        self.registry.gauge("collector.queue_depth").set(depth)
+
+    # -- journal replay -------------------------------------------------
+
+    def _replay(self, recovery: JournalRecovery) -> None:
+        """Rebuild dedup + aggregation state from a recovered journal.
+
+        Replay happens before the listener binds, so it never races
+        live admissions.  Replayed payloads go through the same
+        aggregation rollups as live ones (they were acked — the run's
+        totals must include them) but skip the bounded queue and the
+        ``on_result`` callback: they already happened.
+        """
+        unique = 0
+        for frame in recovery.records:
+            seen = self._seen.setdefault(frame.payload.device_id, set())
+            if frame.seq in seen:
+                # a journal can hold dupes only if a past life appended
+                # twice before dying between journal and mark-seen
+                self.registry.counter("collector.journal.replay_dupes").inc()
+                continue
+            seen.add(frame.seq)
+            self._aggregate_payload(frame.payload)
+            unique += 1
+        if unique:
+            self.registry.counter("collector.journal.replayed").inc(unique)
+        if recovery.torn:
+            self.registry.counter("collector.journal.truncated_bytes").inc(
+                recovery.truncated_bytes
+            )
+
     # -- aggregation ----------------------------------------------------
 
     async def _aggregate(self) -> None:
-        """The queue consumer: the only writer of run-level aggregation."""
+        """The queue consumer: the only writer of run-level aggregation.
+
+        Queue items are one payload (lone result) or a list of payloads
+        (an admitted batch); either way each payload aggregates
+        individually.
+        """
         while True:
-            payload = await self._queue.get()
+            item = await self._queue.get()
+            payloads = item if isinstance(item, list) else (item,)
             try:
-                await self._aggregate_one(payload)
-            except asyncio.CancelledError:
-                raise
-            except Exception:
-                # an aggregation callback failure must not wedge the
-                # queue (stop() joins it) or kill the consumer
-                self.registry.counter("collector.aggregation_errors").inc()
+                for payload in payloads:
+                    try:
+                        await self._aggregate_one(payload)
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception:
+                        # an aggregation callback failure must not wedge
+                        # the queue (stop() joins it) or kill the consumer
+                        self.registry.counter("collector.aggregation_errors").inc()
             finally:
                 self._queue.task_done()
                 self.registry.gauge("collector.queue_depth").set(self._queue.qsize())
 
-    async def _aggregate_one(self, payload: SessionResultPayload) -> None:
+    def _aggregate_payload(self, payload: SessionResultPayload) -> None:
+        """The synchronous rollups shared by live ingest and replay."""
         self.registry.counter("collector.sessions_ingested").inc()
         if payload.degraded:
             self.registry.counter("collector.sessions_degraded").inc()
@@ -354,6 +587,9 @@ class CollectorServer:
             self.registry.merge_snapshot(payload.metrics)
         if self.keep_results:
             self.results.append(payload)
+
+    async def _aggregate_one(self, payload: SessionResultPayload) -> None:
+        self._aggregate_payload(payload)
         if self.on_result is not None:
             maybe_awaitable = self.on_result(payload)
             if asyncio.iscoroutine(maybe_awaitable):
@@ -415,12 +651,19 @@ class CollectorHandle:
     def stop(self, drain: bool = True) -> None:
         if self._thread is None or self._loop is None:
             return
-        future = asyncio.run_coroutine_threadsafe(self.server.stop(drain=drain), self._loop)
-        future.result(timeout=self.server.drain_timeout_s + 30.0)
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=30.0)
-        self._thread = None
-        self._loop = None
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(drain=drain), self._loop
+            )
+            future.result(timeout=self.server.drain_timeout_s + 30.0)
+        finally:
+            # even when the drain times out or raises, the loop thread
+            # must be stopped and the handle reset — otherwise a second
+            # stop() (or interpreter exit) hangs on a wedged loop
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30.0)
+            self._thread = None
+            self._loop = None
 
     def __enter__(self) -> "CollectorHandle":
         self.start()

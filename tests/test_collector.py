@@ -704,3 +704,287 @@ class TestFleet:
             FleetDriver(chase_store, config, CHASE, "pw", devices=0)
         with pytest.raises(ValueError, match="sessions_per_device"):
             FleetDriver(chase_store, config, CHASE, "pw", sessions_per_device=0)
+
+
+# ---------------------------------------------------------------------------
+# exactly-once contract gaps (regression suite for the PR-8 bugfixes)
+
+
+class TestExactlyOnceGaps:
+    def test_cancelled_put_does_not_poison_dedup(self):
+        """A handler cancelled mid-``queue.put`` admitted nothing, so the
+        client's resend of that seq must aggregate — not dupe-ack."""
+        import asyncio
+
+        async def scenario():
+            server = CollectorServer(fast_cfg(queue_size=1))
+            server._queue = asyncio.Queue(maxsize=1)
+            blocker = SessionResultPayload("device-0000", 0, "x", 1)
+            victim = SessionResultPayload("device-0000", 1, "pw", 2, exact=True)
+            from repro.collector.frames import Result
+
+            # fill the queue so the next admission blocks in put()
+            await server._queue.put(blocker)
+            task = asyncio.create_task(server._admit_result(Result(1, victim)))
+            await asyncio.sleep(0)  # let it reach the blocked put
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # the drain-timeout path emptied the queue; the resend arrives
+            server._queue.get_nowait()
+            server._queue.task_done()
+            assert await server._admit_result(Result(1, victim))
+            return server
+
+        server = asyncio.run(scenario())
+        assert server.registry.counter("collector.dupes_dropped").value == 0
+        assert server._queue.qsize() == 1
+        assert server._queue.get_nowait() is not None
+
+    def test_concurrent_resend_waits_for_original_admission(self):
+        """A resend racing the original (still blocked in put) must not
+        double-admit; once the original lands the resend dupe-acks."""
+        import asyncio
+
+        async def scenario():
+            server = CollectorServer(fast_cfg(queue_size=1))
+            server._queue = asyncio.Queue(maxsize=1)
+            payload = SessionResultPayload("device-0000", 1, "pw", 2)
+            from repro.collector.frames import Result
+
+            await server._queue.put(SessionResultPayload("device-0000", 0, "x", 1))
+            original = asyncio.create_task(server._admit_result(Result(1, payload)))
+            await asyncio.sleep(0)
+            resend = asyncio.create_task(server._admit_result(Result(1, payload)))
+            await asyncio.sleep(0)
+            assert not original.done() and not resend.done()
+            server._queue.get_nowait()  # unblock the original
+            server._queue.task_done()
+            assert await original and await resend
+            return server
+
+        server = asyncio.run(scenario())
+        # exactly one admission, one dupe-ack
+        assert server._queue.qsize() == 1
+        assert server.registry.counter("collector.dupes_dropped").value == 1
+
+    def test_restart_resets_volatile_state(self):
+        """A second life of the same server is a fresh run: last run's
+        dedup set must not swallow the new run's seq-0 frames."""
+        handle = CollectorHandle(fast_cfg())
+        endpoint = handle.start()
+        with CollectorClient(
+            endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
+        ) as client:
+            client.send_results(payloads_for("device-0000", 3))
+        handle.stop()
+        assert len(handle.server.results) == 3
+
+        endpoint = handle.start()
+        with CollectorClient(
+            endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
+        ) as client:
+            client.send_results(payloads_for("device-0000", 3))
+        handle.stop()
+        server = handle.server
+        # pre-fix: 0 results, 3 dupes — the stale _seen ate the run
+        assert len(server.results) == 3
+        assert server.registry.counter("collector.dupes_dropped").value == 0
+        # the registry is cumulative across lives; each life counts its
+        # unique devices once
+        assert server.registry.counter("collector.devices_seen").value == 2
+
+    def test_devices_seen_counts_unique_devices_not_connections(self):
+        with CollectorHandle(fast_cfg()) as handle:
+            for _ in range(3):  # same device, three connections
+                with CollectorClient(
+                    handle.endpoint, "device-0000", config=FAST_CFG, sleep=NO_SLEEP
+                ) as client:
+                    client.send_results(payloads_for("device-0000", 1))
+            with CollectorClient(
+                handle.endpoint, "device-0001", config=FAST_CFG, sleep=NO_SLEEP
+            ) as client:
+                client.send_results(payloads_for("device-0001", 1))
+        registry = handle.server.registry
+        assert registry.counter("collector.devices_seen").value == 2
+        assert registry.counter("collector.connections_opened").value == 4
+
+    # tearing the loop down around a failed drain abandons the
+    # aggregator task by design; the "Task was destroyed" noise is the
+    # price of not wedging
+    @pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+    def test_handle_stop_is_exception_safe(self, monkeypatch):
+        """A failing server.stop() must still tear the loop thread down
+        so a second stop() (or interpreter exit) cannot wedge."""
+        handle = CollectorHandle(fast_cfg())
+        handle.start()
+        thread = handle._thread
+
+        async def boom(drain=True):
+            raise RuntimeError("drain exploded")
+
+        monkeypatch.setattr(handle.server, "stop", boom)
+        with pytest.raises(RuntimeError, match="drain exploded"):
+            handle.stop()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert handle._thread is None and handle._loop is None
+        handle.stop()  # second stop is a clean no-op, not a hang
+
+    def test_error_reply_is_drained_before_close(self):
+        """An oversized frame gets its typed ProtocolError reply even
+        though the server closes the connection right after."""
+        with CollectorHandle(fast_cfg()) as handle:
+            sock = raw_connect(handle.endpoint)
+            try:
+                sock.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+                reply = read_frame_sock(sock)
+            finally:
+                sock.close()
+        assert reply["type"] == "error"
+        assert "cap" in reply["error"]
+
+
+# ---------------------------------------------------------------------------
+# batched pipelined delivery
+
+
+class TestBatchedPipeline:
+    """The batch wire frame and the pipelined client that rides it."""
+
+    def test_batch_frame_round_trips_both_codecs(self):
+        from repro.collector.frames import (
+            BINARY_CODEC,
+            JSON_CODEC,
+            Batch,
+            Result,
+            decode_any,
+        )
+
+        batch = Batch(
+            frames=tuple(
+                Result(seq=i, payload=p)
+                for i, p in enumerate(payloads_for("device-0000", 3))
+            )
+        )
+        for codec in (BINARY_CODEC, JSON_CODEC):
+            wire = codec.encode(batch)  # 4-byte length prefix + body
+            assert decode_any(wire[4:]) == batch
+
+    def test_empty_batch_is_rejected(self):
+        from repro.collector.frames import BINARY_CODEC, JSON_CODEC, Batch
+
+        with pytest.raises(FrameError, match="at least one"):
+            BINARY_CODEC.encode(Batch(frames=()))
+        with pytest.raises(FrameError, match="batch"):
+            JSON_CODEC.decode(b'{"type":"batch","frames":[]}')
+
+    def test_pipelined_send_delivers_everything_once(self):
+        cfg = fast_cfg(pipeline_depth=8)
+        with CollectorHandle(cfg) as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000", config=cfg, sleep=NO_SLEEP
+            ) as client:
+                acked = client.send_results(payloads_for("device-0000", 50))
+        server = handle.server
+        assert acked == 50
+        assert len(server.results) == 50
+        assert [p.session_index for p in server.results] == list(range(50))
+        assert server.registry.counter("collector.sessions_ingested").value == 50
+        assert server.registry.counter("collector.dupes_dropped").value == 0
+        # bursts actually rode batch frames, not 50 lock-step results
+        assert server.registry.counter("collector.batch_frames").value >= 1
+
+    def test_window_one_stays_lock_step(self):
+        cfg = fast_cfg(pipeline_depth=1)
+        with CollectorHandle(cfg) as handle:
+            with CollectorClient(
+                handle.endpoint, "device-0000", config=cfg, sleep=NO_SLEEP
+            ) as client:
+                client.send_results(payloads_for("device-0000", 5))
+        server = handle.server
+        assert len(server.results) == 5
+        assert server.registry.counter("collector.batch_frames").value == 0
+
+    def test_pipelined_resend_after_drop_is_deduplicated(self):
+        """A burst severed after the send (ack lost) is resent whole; the
+        server must admit each member exactly once."""
+        plan = FaultPlan(seed=5, read_error_prob=0.3)
+        cfg = fast_cfg(pipeline_depth=8, retry=RetryPolicy(
+            max_attempts=12, base_delay_s=0.001, max_delay_s=0.01
+        ))
+        with CollectorHandle(cfg) as handle:
+            with CollectorClient(
+                handle.endpoint,
+                "device-0000",
+                fault_plan=plan,
+                config=cfg,
+                sleep=NO_SLEEP,
+            ) as client:
+                acked = client.send_results(payloads_for("device-0000", 120))
+                stats = client.stats
+        server = handle.server
+        assert acked == 120
+        assert stats.injected_drops > 0, "plan should have dropped connections"
+        assert len(server.results) == 120
+        assert {p.session_index for p in server.results} == set(range(120))
+        assert server.registry.counter("collector.sessions_ingested").value == 120
+
+    def test_pipelined_exhausts_budget_against_dead_collector(self):
+        cfg = fast_cfg(pipeline_depth=4)
+        handle = CollectorHandle(cfg)
+        endpoint = handle.start()
+        handle.stop()
+        with pytest.raises(CollectorClientError, match="undelivered"):
+            CollectorClient(
+                endpoint, "device-0000", config=cfg, sleep=NO_SLEEP
+            ).send_results(payloads_for("device-0000", 3))
+
+    def test_admit_batch_overlap_admits_only_unseen_members(self):
+        """A resent batch overlapping an admitted one contributes only its
+        unseen members — per-member dedup, one queue item, one record."""
+        import asyncio
+
+        from repro.collector.frames import Batch, Result
+
+        async def scenario():
+            server = CollectorServer(fast_cfg(queue_size=8))
+            server._queue = asyncio.Queue(maxsize=8)
+            frames = [
+                Result(seq=i, payload=p)
+                for i, p in enumerate(payloads_for("device-0000", 6))
+            ]
+            await server._admit_batch(Batch(frames=tuple(frames[0:4])))
+            await server._admit_batch(Batch(frames=tuple(frames[2:6])))
+            return server
+
+        server = asyncio.run(scenario())
+        first = server._queue.get_nowait()
+        second = server._queue.get_nowait()
+        assert [p.session_index for p in first] == [0, 1, 2, 3]
+        assert [p.session_index for p in second] == [4, 5]
+        assert server.registry.counter("collector.dupes_dropped").value == 2
+        assert server.registry.counter("collector.frames_ingested").value == 8
+        assert server.registry.counter("collector.batch_frames").value == 2
+
+    def test_fully_duplicate_batch_enqueues_nothing(self):
+        import asyncio
+
+        from repro.collector.frames import Batch, Result
+
+        async def scenario():
+            server = CollectorServer(fast_cfg(queue_size=8))
+            server._queue = asyncio.Queue(maxsize=8)
+            batch = Batch(
+                frames=tuple(
+                    Result(seq=i, payload=p)
+                    for i, p in enumerate(payloads_for("device-0000", 3))
+                )
+            )
+            await server._admit_batch(batch)
+            await server._admit_batch(batch)
+            return server
+
+        server = asyncio.run(scenario())
+        assert server._queue.qsize() == 1  # one list for the first batch
+        assert server.registry.counter("collector.dupes_dropped").value == 3

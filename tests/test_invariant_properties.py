@@ -230,3 +230,60 @@ class TestScenarioRegistryProperties:
     def test_scenario_dict_round_trip_identity(self, name):
         scn = scenario(name)
         assert Scenario.from_dict(scn.to_dict()) == scn
+
+
+class TestDeviceRouterProperties:
+    """The collector tier's device→shard mapping must be a total,
+    deterministic partition — a device that hashed to a different shard
+    across processes (or across a config round-trip) would split its
+    ``(device_id, seq)`` dedup state and break exactly-once."""
+
+    router_args = (
+        st.integers(1, 17),  # shards
+        st.integers(0, 10_000),  # seed
+        st.lists(st.text(min_size=1, max_size=32), min_size=1, max_size=50),
+    )
+
+    @given(*router_args)
+    @settings(max_examples=100)
+    def test_partition_is_total_and_in_range(self, shards, seed, device_ids):
+        from repro.collector import DeviceRouter
+
+        router = DeviceRouter(shards=shards, seed=seed)
+        groups = router.partition(device_ids)
+        assert set(groups) == set(range(shards))
+        flattened = [d for group in groups.values() for d in group]
+        assert sorted(flattened) == sorted(device_ids)
+        for device_id in device_ids:
+            assert 0 <= router.shard_of(device_id) < shards
+
+    @given(*router_args)
+    @settings(max_examples=100)
+    def test_deterministic_across_instances(self, shards, seed, device_ids):
+        from repro.collector import DeviceRouter
+
+        a = DeviceRouter(shards=shards, seed=seed)
+        b = DeviceRouter(shards=shards, seed=seed)
+        assert [a.shard_of(d) for d in device_ids] == [
+            b.shard_of(d) for d in device_ids
+        ]
+
+    @given(*router_args)
+    @settings(max_examples=100)
+    def test_stable_under_config_round_trip(self, shards, seed, device_ids):
+        from repro.collector import CollectorConfig, DeviceRouter
+
+        config = CollectorConfig(shards=shards)
+        restored = CollectorConfig.from_dict(config.to_dict())
+        assert restored.shards == shards
+        before = DeviceRouter.from_config(config, seed=seed)
+        after = DeviceRouter.from_config(restored, seed=seed)
+        assert [before.shard_of(d) for d in device_ids] == [
+            after.shard_of(d) for d in device_ids
+        ]
+
+    def test_rejects_zero_shards(self):
+        from repro.collector import DeviceRouter
+
+        with pytest.raises(ValueError, match="shards"):
+            DeviceRouter(shards=0)

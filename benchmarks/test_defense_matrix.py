@@ -1,0 +1,129 @@
+"""Section 9 at fleet scale: the threat × mitigation matrix.
+
+Drives the attack across ``scenarios × mitigation policies`` via
+:func:`repro.api.run_defense_matrix` and emits the full matrix as
+``BENCH_defense.json`` (per-cell ``defense.<scenario>.<policy>.*``
+gauges) — the artifact ``docs/defenses.md`` and EXPERIMENTS.md
+reproduce their tables from.  One cell additionally runs through
+:func:`repro.api.run_fleet`, proving the collector-merged manifest
+carries the same mitigation tallies.
+
+Shape assertions, per the acceptance bar:
+
+* allow-all reproduces the undefended baseline exactly;
+* RBAC drives exact-credential recovery to zero;
+* the obfuscation sweep point sits between the two;
+* popup disabling breaks key inference on popup keyboards.
+"""
+
+from conftest import run_once, scaled, write_bench_manifest
+from repro.api import (
+    AttackConfig,
+    MetricsRegistry,
+    format_defense_matrix,
+    mitigation,
+    run_defense_matrix,
+    run_fleet,
+    train,
+)
+
+SCENARIOS = ("pinpad", "gboard-chase")
+POLICIES = ("allow-all", "rbac", "rate-limit-30hz", "obfuscate-strong", "popup-disable")
+
+
+def test_sec9_defense_matrix(benchmark):
+    registry = MetricsRegistry()
+    sessions = scaled(2)
+
+    def run():
+        return run_defense_matrix(
+            list(SCENARIOS),
+            list(POLICIES) + [None],
+            sessions=sessions,
+            seed=7,
+            metrics=registry,
+        )
+
+    cells = run_once(benchmark, run)
+    print("\nSection 9 — threat × mitigation matrix:")
+    print(format_defense_matrix(cells))
+
+    by_key = {(c.scenario, c.mitigation): c for c in cells}
+    for scn in SCENARIOS:
+        baseline = by_key[(scn, "none")]
+        allow = by_key[(scn, "allow-all")]
+        rbac = by_key[(scn, "rbac")]
+        sweep = by_key[(scn, "rate-limit-30hz")]
+        assert allow.exact == baseline.exact, f"{scn}: allow-all must be the baseline"
+        assert allow.keys_correct == baseline.keys_correct
+        assert rbac.exact == 0, f"{scn}: RBAC must zero exact recovery"
+        assert rbac.denials > 0
+        assert sweep.key_accuracy <= baseline.key_accuracy
+    # popup disabling must break key inference where popups exist
+    popup = by_key[("gboard-chase", "popup-disable")]
+    baseline = by_key[("gboard-chase", "none")]
+    assert popup.key_accuracy < baseline.key_accuracy
+
+    write_bench_manifest(
+        "defense",
+        registry,
+        scenarios=list(SCENARIOS),
+        policies=list(POLICIES) + ["none"],
+        sessions=sessions,
+    )
+
+
+def test_sec9_fleet_carries_mitigation_tallies(benchmark):
+    # one matrix cell at fleet scale: the collector-merged manifest must
+    # carry the policy's enforcement counters end to end
+    cfg = AttackConfig(
+        scenario="pinpad", mitigation="rbac", recognize_device=False, fault_plan=None
+    )
+    store = train(config=cfg)
+    registry = MetricsRegistry()
+
+    def run():
+        return run_fleet(
+            store,
+            credential="19283746",
+            devices=2,
+            sessions_per_device=1,
+            seed=11,
+            config=cfg,
+            metrics=registry,
+        )
+
+    report = run_once(benchmark, run)
+    assert report.lost == 0
+    assert report.exact == 0, "RBAC must hold at fleet scale"
+    counters = registry.manifest().counters
+    assert counters.get("mitigation.denials", 0) > 0
+    assert counters.get("sampler.counters_denied", 0) > 0
+    print(
+        f"\nSection 9 — fleet under RBAC: {report.ingested} results ingested, "
+        f"exact {report.exact}/{report.sessions_total}, "
+        f"{counters['mitigation.denials']} policy denials in the merged manifest"
+    )
+
+
+def test_sec9_composed_stack_dominates_components(benchmark):
+    # defense-in-depth (popup + quantize + rate-limit) must do at least
+    # as well as its weakest component on the same sessions
+    def run():
+        return run_defense_matrix(
+            ["gboard-chase"],
+            ["defense-in-depth", "rate-limit-30hz", "popup-disable", None],
+            sessions=scaled(2),
+            seed=13,
+        )
+
+    cells = run_once(benchmark, run)
+    by_name = {c.mitigation: c for c in cells}
+    stack = by_name["defense-in-depth"]
+    assert stack.key_accuracy <= by_name["rate-limit-30hz"].key_accuracy
+    assert stack.key_accuracy <= by_name["popup-disable"].key_accuracy
+    assert stack.exact <= by_name["none"].exact
+    print(
+        f"\nSection 9 — composed stack: key accuracy "
+        f"{stack.key_accuracy:.2f} vs none {by_name['none'].key_accuracy:.2f}"
+    )

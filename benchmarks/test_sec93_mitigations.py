@@ -11,14 +11,10 @@
 * Driver-level value obfuscation perturbs returned counter values.
 """
 
-import numpy as np
-import pytest
-
 from conftest import run_once, scaled
 from repro.analysis.experiments import run_credential_batch, single_model_attack
 from repro.android.apps import PNC
 from repro.core.pipeline import simulate_credential_entry
-from repro.kgsl.ioctl import IoctlError
 from repro.mitigations.access_control import LocalOnlyPolicy, RbacPolicy
 from repro.mitigations.obfuscation import CounterObfuscationPolicy
 from repro.mitigations.popup_disable import config_with_popups_disabled
@@ -30,16 +26,16 @@ def test_sec92_rbac_blocks_attack(benchmark, config, chase):
 
     def attempt():
         policy = RbacPolicy()
-        try:
-            attack.run_on_trace(trace, seed=930, access_policy=policy)
-            return policy, None
-        except IoctlError as exc:
-            return policy, exc
+        result = attack.run_on_trace(trace, seed=930, access_policy=policy)
+        return policy, result
 
-    policy, error = run_once(benchmark, attempt)
-    assert error is not None, "SELinux whitelisting must deny the counter ioctls"
+    policy, result = run_once(benchmark, attempt)
+    # EACCES permanently masks every counter: the attack survives but
+    # recovers nothing (blind sampling, degraded result).
+    assert result.text == "", "SELinux whitelisting must deny the counter ioctls"
+    assert result.degraded
     assert policy.denials >= 1
-    print(f"\nSection 9.2 — RBAC: attack denied with EACCES after {policy.denials} denial(s)")
+    print(f"\nSection 9.2 — RBAC: attack blinded with EACCES after {policy.denials} denial(s)")
 
 
 def test_sec92_local_only_blinds_attack(benchmark, config, chase):

@@ -116,12 +116,23 @@ from repro.parallel import ShardPlan, ShardedRuntime
 from repro.core.results import SessionResult
 from repro.core.service import MonitoringService, ServiceReport
 from repro.gpu import counters
-from repro.kgsl.device_file import DeviceClock, open_kgsl
+from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
 from repro.kgsl.ioctl import IoctlError
 from repro.kgsl.sampler import DEFAULT_INTERVAL_S, PerfCounterSampler, SystemLoad
 from repro.mitigations.access_control import LocalOnlyPolicy, RbacPolicy
 from repro.mitigations.obfuscation import CounterObfuscationPolicy
+from repro.mitigations.policy import (
+    MITIGATION_ENV,
+    MITIGATION_REGISTRY,
+    MitigationPolicy,
+    PolicyEnforcer,
+    compose,
+    mitigation,
+    mitigation_names,
+    register_mitigation,
+)
 from repro.mitigations.popup_disable import config_with_popups_disabled
+from repro.analysis.defense import DefenseCell, format_defense_matrix, run_defense_matrix
 from repro.registry import Registry, UnknownNameError
 from repro.runtime import RuntimeEvent, RuntimeTrace
 from repro.scenarios import (
@@ -141,6 +152,9 @@ from repro.workloads.credentials import (
 #: Collision-safe alias: facade internals use this so a ``scenario=``
 #: keyword or field never shadows the lookup function.
 scenario_lookup = scenario
+
+#: Same trick for the ``mitigation=`` config field vs. the lookup.
+mitigation_lookup = mitigation
 
 #: Deprecated spec-constant re-exports → the module that still serves
 #: them (lazily, through its own ``__getattr__`` choke point).
@@ -263,6 +277,7 @@ __all__ = [
     "BackspacePress",
     # low-level KGSL access
     "DeviceClock",
+    "ProcessContext",
     "open_kgsl",
     "PerfCounterSampler",
     "SystemLoad",
@@ -321,6 +336,17 @@ __all__ = [
     "LocalOnlyPolicy",
     "CounterObfuscationPolicy",
     "config_with_popups_disabled",
+    "MitigationPolicy",
+    "PolicyEnforcer",
+    "MITIGATION_REGISTRY",
+    "MITIGATION_ENV",
+    "compose",
+    "mitigation",
+    "mitigation_names",
+    "register_mitigation",
+    "DefenseCell",
+    "run_defense_matrix",
+    "format_defense_matrix",
     # modules
     "features",
     "counters",
@@ -362,6 +388,10 @@ class AttackConfig:
     #: as its name).  Fills device config, target app, typing tier and
     #: default fault profile wherever the facade accepts them.
     scenario: Optional[Union[Scenario, str]] = None
+    #: Victim-side defense: "auto" (environment), a registered policy
+    #: name, a :class:`MitigationPolicy`, or None (byte-identical to
+    #: the undefended pipeline — the golden-parity contract).
+    mitigation: Union[MitigationPolicy, None, str] = "auto"
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0 or self.idle_interval_s <= 0:
@@ -385,6 +415,9 @@ class AttackConfig:
             )
             scenario_lookup(name)
             object.__setattr__(self, "scenario", name)
+        if isinstance(self.mitigation, str) and self.mitigation != "auto":
+            # resolve now so a typo'd policy name fails at construction
+            mitigation_lookup(self.mitigation)
 
     @property
     def load(self) -> SystemLoad:
@@ -416,6 +449,26 @@ class AttackConfig:
             return plan if plan.enabled else None
         return faults.resolve_plan(self.fault_plan)
 
+    def resolved_mitigation(self) -> Optional[MitigationPolicy]:
+        """The mitigation policy the run enforces.
+
+        Mirrors :meth:`resolved_fault_plan`: ``"auto"`` reads the
+        ``REPRO_MITIGATION`` environment variable (a registered policy
+        name) and otherwise resolves to ``None``; an explicit name or
+        :class:`MitigationPolicy` wins over the environment, and an
+        explicit ``None`` pins the undefended (golden-parity) pipeline.
+        """
+        import os
+
+        if isinstance(self.mitigation, MitigationPolicy):
+            return self.mitigation
+        if self.mitigation == "auto":
+            name = os.environ.get(MITIGATION_ENV, "").strip()
+            return mitigation_lookup(name) if name else None
+        if self.mitigation is None:
+            return None
+        return mitigation_lookup(self.mitigation)
+
     # -- serialization --------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
@@ -423,6 +476,8 @@ class AttackConfig:
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name == "fault_plan" and isinstance(value, FaultPlan):
+                value = value.to_dict()
+            elif f.name == "mitigation" and isinstance(value, MitigationPolicy):
                 value = value.to_dict()
             out[f.name] = value
         return out
@@ -437,6 +492,9 @@ class AttackConfig:
         plan = kwargs.get("fault_plan")
         if isinstance(plan, Mapping):
             kwargs["fault_plan"] = FaultPlan.from_dict(plan)
+        mit = kwargs.get("mitigation")
+        if isinstance(mit, Mapping):
+            kwargs["mitigation"] = MitigationPolicy.from_dict(mit)
         return cls(**kwargs)  # type: ignore[arg-type]
 
 
@@ -457,6 +515,7 @@ def _attacker(
         recover_collisions=config.recover_collisions,
         fault_plan=config.resolved_fault_plan(),
         metrics=metrics,
+        mitigation=config.resolved_mitigation(),
     )
 
 
@@ -532,6 +591,11 @@ def simulate(
         raise ValueError("simulate() needs a non-empty credential")
     if speed_tier is None and scn is not None:
         speed_tier = scn.speed_tier
+    mit = config.resolved_mitigation()
+    if mit is not None:
+        # victim-side rendering changes (e.g. popup disable) land on the
+        # simulated device, not the attacker's training config
+        device_config = mit.apply_to_device_config(device_config)
     return simulate_credential_entry(
         device_config,
         target,
@@ -661,6 +725,7 @@ def monitor(
         attack_window_s=config.attack_window_s,
         fault_plan=config.resolved_fault_plan(),
         metrics=metrics,
+        mitigation=config.resolved_mitigation(),
     )
     report = service.run(
         trace,

@@ -11,16 +11,19 @@ Commands:
 * ``report``   — regenerate the evaluation figures into a directory
 * ``devices``  — list registered phones, keyboards and apps
 * ``scenarios`` — list / show / smoke-test the scenario registry
+* ``defenses`` — list / show / smoke / sweep the mitigation registry
+  (the threat × mitigation matrix; see ``docs/defenses.md``)
 
 The CLI is a thin shell over the public API (``repro.api``); every
 command maps onto one or two facade calls so it doubles as
 documentation.  ``--phone`` / ``--keyboard`` / ``--app`` /
-``--scenario`` names are validated against their registries at
-argument-parse time, so a typo exits with a usage error (and a
-closest-match suggestion) before any work starts.  ``steal`` and
+``--scenario`` / ``--mitigation`` names are validated against their
+registries at argument-parse time, so a typo exits with a usage error
+(and a closest-match suggestion) before any work starts.  ``steal`` and
 ``attack`` accept ``--fault-profile`` / ``--fault-seed`` to exercise
 the resilient sampling path against an unreliable KGSL interface (see
-``repro.faults``).
+``repro.faults``), and ``--mitigation`` to run the same attack against
+a defended victim.
 """
 
 from __future__ import annotations
@@ -35,23 +38,30 @@ from typing import List, Optional
 from repro.api import (
     APP_REGISTRY,
     KEYBOARD_REGISTRY,
+    MITIGATION_REGISTRY,
     PHONE_REGISTRY,
     SCENARIO_REGISTRY,
     AttackConfig,
     CandidateGenerator,
     DeviceConfig,
     FaultPlan,
+    IoctlError,
     MetricsRegistry,
+    MitigationPolicy,
+    ProcessContext,
     UnknownNameError,
     app,
     attack,
     bar_chart,
     CollectorConfig,
     default_config,
+    format_defense_matrix,
     generate_report,
     keyboard,
+    mitigation,
     ModelStore,
     phone,
+    run_defense_matrix,
     run_fleet,
     run_per_key_sweep,
     run_sessions,
@@ -124,6 +134,19 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_mitigation_flag(parser: argparse.ArgumentParser) -> None:
+    check_name = _registry_name(MITIGATION_REGISTRY)
+    parser.add_argument(
+        "--mitigation",
+        default="auto",
+        type=lambda v: v if v in ("auto", "none") else check_name(v),
+        metavar="NAME",
+        help="enforce a registered mitigation policy on the victim "
+        "(see 'repro defenses'); 'none' pins the undefended pipeline, "
+        "default 'auto' honors the REPRO_MITIGATION environment variable",
+    )
+
+
 def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -163,6 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(steal)
     _add_fault_flags(steal)
+    _add_mitigation_flag(steal)
     _add_metrics_flag(steal)
 
     train_p = sub.add_parser("train", help="offline phase: train and save models")
@@ -200,6 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(attack_p)
     _add_fault_flags(attack_p)
+    _add_mitigation_flag(attack_p)
     _add_metrics_flag(attack_p)
 
     fleet = sub.add_parser(
@@ -257,6 +282,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(fleet)
     _add_fault_flags(fleet)
+    _add_mitigation_flag(fleet)
     _add_metrics_flag(fleet)
 
     survey = sub.add_parser("survey", help="per-key weak spots for a keyboard")
@@ -301,6 +327,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sweep-repeats", type=int, default=1,
         help="training sweep repeats per model (default 1: fast smoke)",
     )
+
+    defenses_p = sub.add_parser(
+        "defenses",
+        help="list, inspect, smoke-test, or sweep the mitigation registry",
+    )
+    dsub = defenses_p.add_subparsers(dest="defenses_command")
+    dlist = dsub.add_parser("list", help="list registered mitigation policies")
+    dlist.add_argument(
+        "--tag", default=None,
+        help="only policies carrying this registry tag (paper, "
+        "access-control, obfuscation, sweep, composed, ...)",
+    )
+    dshow = dsub.add_parser("show", help="dump one policy's spec")
+    dshow.add_argument(
+        "name", type=_registry_name(MITIGATION_REGISTRY), metavar="NAME"
+    )
+    dsmoke = dsub.add_parser(
+        "smoke",
+        help="check every registered policy composes, enforces, and "
+        "round-trips through its dict form; any failure fails the run",
+    )
+    dsmoke.add_argument(
+        "names", nargs="*", metavar="NAME",
+        type=_registry_name(MITIGATION_REGISTRY),
+        help="smoke only these policies (default: all registered)",
+    )
+    dsweep = dsub.add_parser(
+        "sweep",
+        help="run the attack across scenarios x mitigations and print "
+        "the threat x mitigation matrix (docs/defenses.md)",
+    )
+    dsweep.add_argument(
+        "--scenario", action="append", default=[],
+        type=_registry_name(SCENARIO_REGISTRY), metavar="NAME",
+        help="victim scenario (repeatable; default: pinpad, gboard-chase)",
+    )
+    dsweep.add_argument(
+        "--mitigation", action="append", default=[],
+        type=_registry_name(MITIGATION_REGISTRY), metavar="NAME",
+        help="policy column (repeatable; default: allow-all, rbac, "
+        "rate-limit-30hz, obfuscate-strong, popup-disable)",
+    )
+    dsweep.add_argument(
+        "--sessions", type=int, default=2,
+        help="victim sessions per matrix cell (default 2)",
+    )
+    dsweep.add_argument("--length", type=int, default=8, help="credential length")
+    dsweep.add_argument("--seed", type=int, default=7)
+    dsweep.add_argument(
+        "--fault-profile", choices=_FAULT_CHOICES, default="none",
+        help="fault plan active during the sweep (default none)",
+    )
+    _add_workers_flag(dsweep)
+    _add_metrics_flag(dsweep)
     return parser
 
 
@@ -328,7 +408,12 @@ def _attack_config(args, **overrides) -> AttackConfig:
         fault_plan = "auto"
     else:
         fault_plan = FaultPlan.from_profile(profile, seed=args.fault_seed)
-    return AttackConfig(fault_plan=fault_plan, **overrides)
+    mitigation_name = getattr(args, "mitigation", "auto")
+    if mitigation_name == "none":
+        mitigation_name = None
+    return AttackConfig(
+        fault_plan=fault_plan, mitigation=mitigation_name, **overrides
+    )
 
 
 def _fault_summary(result) -> str:
@@ -657,6 +742,121 @@ def _cmd_scenarios(args) -> int:
     return 1 if failures else 0
 
 
+def _policy_layers(policy) -> str:
+    layers = []
+    if policy.rbac:
+        layers.append("rbac")
+    if policy.local_only:
+        layers.append("local-only")
+    if policy.rate_limit_hz:
+        layers.append(f"rate<{policy.rate_limit_hz:g}Hz")
+    if policy.quantize_step:
+        layers.append(f"quantize%{policy.quantize_step}")
+    if policy.noise_strength:
+        layers.append(f"noise x{policy.noise_strength:g}")
+    if policy.disable_popups:
+        layers.append("no-popup")
+    return "+".join(layers) or "(no-op)"
+
+
+def _policy_line(policy) -> str:
+    tags = ",".join(policy.tags) or "-"
+    return f"  {policy.name:18s} {_policy_layers(policy):34s} tags={tags}"
+
+
+def _smoke_policy(policy) -> None:
+    """One policy's smoke: dict round-trip, order-invariant composition,
+    and a live enforcement probe at the KGSL boundary contract."""
+    restored = MitigationPolicy.from_dict(policy.to_dict())
+    if restored != policy:
+        raise AssertionError(f"{policy.name}: dict round-trip changed the spec")
+    other = mitigation("defense-in-depth")
+    if policy.compose(other) != other.compose(policy):
+        raise AssertionError(f"{policy.name}: composition is order-sensitive")
+    enforcer = policy.enforcer(seed=3)
+    if enforcer is None:
+        if policy.enforces_kgsl:
+            raise AssertionError(f"{policy.name}: enforcing policy built no enforcer")
+        return
+    untrusted = ProcessContext()
+    try:
+        enforcer.check(untrusted, "read", 11, 2)
+        denied = False
+    except IoctlError:
+        denied = True
+    if denied != policy.rbac:
+        raise AssertionError(
+            f"{policy.name}: rbac={policy.rbac} but untrusted read "
+            f"{'denied' if denied else 'allowed'}"
+        )
+    if not denied:
+        value = enforcer.filter_value(
+            context=untrusted, groupid=11, countable=2, value=100_000, now=0.0
+        )
+        if not isinstance(value, int) or value < 0:
+            raise AssertionError(f"{policy.name}: filter_value returned {value!r}")
+
+
+def _cmd_defenses(args) -> int:
+    command = getattr(args, "defenses_command", None) or "list"
+    if command == "list":
+        names = MITIGATION_REGISTRY.names()
+        if getattr(args, "tag", None):
+            tagged = {p.name for p in MITIGATION_REGISTRY.tagged(args.tag)}
+            names = [n for n in names if n in tagged]
+        for name in names:
+            print(_policy_line(mitigation(name)))
+        print(f"{len(names)} mitigation policy(ies)")
+        return 0
+    if command == "show":
+        policy = mitigation(args.name)
+        for key, value in policy.to_dict().items():
+            print(f"{key:20s}: {value!r}")
+        print(f"{'layers':20s}: {_policy_layers(policy)}")
+        print(f"{'enforces kgsl':20s}: {policy.enforces_kgsl}")
+        return 0
+    if command == "smoke":
+        names = args.names or MITIGATION_REGISTRY.names()
+        failures = []
+        for name in names:
+            try:
+                _smoke_policy(mitigation(name))
+            except Exception as exc:  # noqa: BLE001 - any error fails the smoke
+                failures.append((name, exc))
+                print(f"FAIL  {name:18s} {type(exc).__name__}: {exc}")
+                continue
+            print(f"ok    {name}")
+        print(f"{len(names) - len(failures)}/{len(names)} policies passed")
+        return 1 if failures else 0
+    # sweep: the threat x mitigation matrix over the live attack.
+    scenarios = args.scenario or ["pinpad", "gboard-chase"]
+    mitigations: List[Optional[str]] = list(
+        args.mitigation
+        or ["allow-all", "rbac", "rate-limit-30hz", "obfuscate-strong", "popup-disable"]
+    )
+    profile = args.fault_profile
+    fault_plan = {"auto": "auto", "none": None}.get(profile, profile)
+    registry = _metrics_registry(args)
+    cells = run_defense_matrix(
+        scenarios,
+        mitigations,
+        sessions=args.sessions,
+        length=args.length,
+        seed=args.seed,
+        fault_plan=fault_plan,
+        workers=args.workers,
+        metrics=registry,
+    )
+    print(format_defense_matrix(cells))
+    if registry is not None:
+        manifest = registry.manifest(
+            command="defenses-sweep", cells=len(cells), sessions=args.sessions
+        )
+        manifest.write(args.metrics_out)
+        print(f"metrics: wrote run manifest to {args.metrics_out}")
+    return 0
+
+
 _COMMANDS = {
     "steal": _cmd_steal,
     "train": _cmd_train,
@@ -666,6 +866,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "devices": _cmd_devices,
     "scenarios": _cmd_scenarios,
+    "defenses": _cmd_defenses,
 }
 
 

@@ -258,9 +258,14 @@ class AttackStage:
     # ------------------------------------------------------------------
 
     def _drain_faults(self, session, t: float) -> None:
-        """Publish the sampler's resilience events into the shared trace."""
+        """Publish the sampler's resilience events into the shared trace.
+
+        Covers injected-fault recovery *and* access-policy denials — both
+        land in the sampler's fault log.  With neither active the log is
+        always empty and this returns after one attribute check.
+        """
         injector = self.sampler.fault_injector
-        if injector is None:
+        if injector is None and not self.sampler.fault_log:
             return
         count_events = self.metrics.enabled
         for kind, detail in self.sampler.drain_fault_log():
@@ -286,11 +291,21 @@ class AttackStage:
         if self.engine is None and (self._pending or not self._recognize_after):
             self._resolve(session)
         if self.engine is None:
-            # recognition was required but the stream stayed empty
-            raise ValueError("no nonzero PC changes to recognize from")
+            if self.sampler.counters_denied:
+                # an access policy blinded the sampler: there is nothing
+                # to recognize from, so fall back to the first model and
+                # report an empty inference instead of crashing the run
+                self._recognize_after = 0
+                self._resolve(session)
+            else:
+                # recognition was required but the stream stayed empty
+                raise ValueError("no nonzero PC changes to recognize from")
         online = self.engine.finish()
         injector = self.sampler.fault_injector
         self.sampler.flush_metrics(self.metrics)
+        policy = self.kgsl.access_policy
+        if policy is not None and hasattr(policy, "flush_metrics"):
+            policy.flush_metrics(self.metrics)
         if self.metrics.enabled and injector is not None:
             for name, value in injector.stats.as_dict().items():
                 if value > 0:
@@ -322,6 +337,7 @@ class EavesdropAttack:
         recover_collisions: bool = True,
         fault_plan: Union[faults_mod.FaultPlan, None, str] = "auto",
         metrics: Optional[MetricsRegistry] = None,
+        mitigation=None,
     ) -> None:
         if len(store) == 0:
             raise ValueError("model store is empty — run the offline phase first")
@@ -333,6 +349,9 @@ class EavesdropAttack:
         self.recover_collisions = recover_collisions
         self.fault_plan = faults_mod.resolve_plan(fault_plan)
         self.metrics = resolve_registry(metrics)
+        #: Optional :class:`~repro.mitigations.MitigationPolicy` the
+        #: victim's device enforces; each session gets a fresh enforcer.
+        self.mitigation = mitigation
 
     def session_spec(
         self,
@@ -356,6 +375,8 @@ class EavesdropAttack:
             if self.fault_plan is not None
             else None
         )
+        if access_policy is None and self.mitigation is not None:
+            access_policy = self.mitigation.enforcer(seed=seed)
         kgsl = open_kgsl(
             trace.timeline,
             clock=DeviceClock(),

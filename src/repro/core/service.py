@@ -110,6 +110,7 @@ class MonitoringService:
         attack_window_s: float = 60.0,
         fault_plan: Union[faults_mod.FaultPlan, None, str] = "auto",
         metrics: Optional[MetricsRegistry] = None,
+        mitigation=None,
     ) -> None:
         if len(store) == 0:
             raise ValueError("model store is empty")
@@ -119,6 +120,7 @@ class MonitoringService:
         self.attack_window_s = attack_window_s
         self.fault_plan = faults_mod.resolve_plan(fault_plan)
         self.metrics = resolve_registry(metrics)
+        self.mitigation = mitigation
 
     def run(
         self,
@@ -153,6 +155,11 @@ class MonitoringService:
             trace.timeline,
             clock=DeviceClock(),
             context=ProcessContext(),
+            access_policy=(
+                self.mitigation.enforcer(seed=seed)
+                if self.mitigation is not None
+                else None
+            ),
             adreno_model=trace.config.gpu.model,
             fault_injector=idle_injector,
         )
@@ -168,6 +175,7 @@ class MonitoringService:
             recognize_device=len(self.store) > 1,
             fault_plan=self.fault_plan,
             metrics=self.metrics,
+            mitigation=self.mitigation,
         )
         launch_info = {"event": None, "idle_reads": 0}
 

@@ -218,9 +218,19 @@ class PerfCounterSampler:
     exponential backoff once the other client releases it.  Everything
     the resilience layer does is recorded in :attr:`fault_log` so the
     runtime stage can surface degraded-mode events in the shared
-    :class:`~repro.runtime.trace.RuntimeTrace`.  With no fault injector
-    installed none of these paths execute and the loop is byte-identical
-    to the infallible original.
+    :class:`~repro.runtime.trace.RuntimeTrace`.
+
+    Access-policy denials are a separate, *permanent* failure class: a
+    counter denied with ``EACCES`` (Section 9.2's RBAC; see
+    ``docs/defenses.md``) is masked for the rest of the session and never
+    re-registered — unlike contention losses, a policy won't change its
+    mind, and retrying would only feed the audit log.  A fully denied
+    sampler runs blind (empty reads, every delta masked) rather than
+    crashing the service.
+
+    With no fault injector and no access policy installed none of these
+    paths execute and the loop is byte-identical to the infallible
+    original.
     """
 
     #: Transient-read retries before the failure is considered permanent.
@@ -251,17 +261,27 @@ class PerfCounterSampler:
         self.retries = 0
         self.reregistrations = 0
         self.counters_lost = 0
+        self.counters_denied = 0
         self.fault_log: List[Tuple[str, Dict[str, object]]] = []
         self._read_index = 0
         #: lost spec -> (read index of next re-registration attempt, failures)
         self._lost: Dict[pc.CounterSpec, Tuple[int, int]] = {}
+        #: specs an access policy denied with EACCES — permanent, never
+        #: revived (a policy denial is not contention; see docs/defenses.md)
+        self._denied: set = set()
         self._active: List[pc.CounterSpec] = []
         self._reserve_counters()
 
     @property
     def degraded(self) -> bool:
         """Whether the resilience layer has had to intervene at all."""
-        return bool(self.retries or self.reregistrations or self.counters_lost or self._lost)
+        return bool(
+            self.retries
+            or self.reregistrations
+            or self.counters_lost
+            or self.counters_denied
+            or self._lost
+        )
 
     def drain_fault_log(self) -> List[Tuple[str, Dict[str, object]]]:
         """Hand pending resilience events to the caller (runtime stage)."""
@@ -283,6 +303,7 @@ class PerfCounterSampler:
         metrics.counter("sampler.retries").inc(self.retries)
         metrics.counter("sampler.reregistrations").inc(self.reregistrations)
         metrics.counter("sampler.counters_lost").inc(self.counters_lost)
+        metrics.counter("sampler.counters_denied").inc(self.counters_denied)
 
     def _note(self, kind: str, **detail: object) -> None:
         self.fault_log.append((kind, detail))
@@ -292,7 +313,7 @@ class PerfCounterSampler:
         for spec in self.counters:
             if self._try_reserve(spec):
                 self._active.append(spec)
-            else:
+            elif spec not in self._denied:
                 self._lose(spec)
 
     def _try_reserve(self, spec: pc.CounterSpec) -> bool:
@@ -304,6 +325,11 @@ class PerfCounterSampler:
                 self.device_file.ioctl(IOCTL_KGSL_PERFCOUNTER_GET, get)
                 return True
             except IoctlError as exc:
+                if exc.errno == errno.EACCES:
+                    # an access policy said no — that is enforcement, not
+                    # contention: mask the counter permanently, never retry
+                    self._deny(spec)
+                    return False
                 if (
                     self.fault_injector is not None
                     and exc.errno in _TRANSIENT_ERRNOS
@@ -325,6 +351,22 @@ class PerfCounterSampler:
         self.counters_lost += 1
         self._note("counter_lost", counter=spec.name)
 
+    def _deny(self, spec: pc.CounterSpec) -> None:
+        """An access policy denied this counter: masked for good.
+
+        Unlike :meth:`_lose`, denial schedules no re-registration — a
+        policy denial is deterministic, and hammering the driver with
+        doomed ``PERFCOUNTER_GET`` retries is exactly the auditd noise a
+        real attack service would avoid.  The session continues blind;
+        downstream deltas carry the counter in ``missing``.
+        """
+        if spec in self._denied:
+            return
+        self._denied.add(spec)
+        self._lost.pop(spec, None)
+        self.counters_denied += 1
+        self._note("counter_denied", counter=spec.name)
+
     def _backoff(self, attempt: int) -> None:
         """Transient-failure backoff, charged in device time."""
         self.device_file.clock.advance(self.RETRY_BACKOFF_S * attempt)
@@ -339,9 +381,11 @@ class PerfCounterSampler:
                 continue
             if self._try_reserve(spec):
                 del self._lost[spec]
-                self._active = [c for c in self.counters if c not in self._lost]
+                self._rebuild_active()
                 self.reregistrations += 1
                 self._note("counter_restored", counter=spec.name)
+            elif spec in self._denied:
+                continue  # _deny already pulled it out of the lost set
             else:
                 failures += 1
                 backoff = min(self.MAX_REREGISTER_BACKOFF, 2 ** failures)
@@ -357,11 +401,17 @@ class PerfCounterSampler:
         changed = False
         for spec in list(self._active):
             if not self._try_reserve(spec):
-                self._lose(spec)
+                if spec not in self._denied:
+                    self._lose(spec)
                 changed = True
         if changed:
-            self._active = [c for c in self.counters if c not in self._lost]
+            self._rebuild_active()
         return changed
+
+    def _rebuild_active(self) -> None:
+        self._active = [
+            c for c in self.counters if c not in self._lost and c not in self._denied
+        ]
 
     # ------------------------------------------------------------------
 
@@ -392,6 +442,15 @@ class PerfCounterSampler:
             try:
                 self.device_file.ioctl(IOCTL_KGSL_PERFCOUNTER_READ, read)
             except IoctlError as exc:
+                if exc.errno == errno.EACCES:
+                    # access revoked mid-session (a policy now denies the
+                    # read path): every active register is policy-masked
+                    # and the service continues blind
+                    for spec in active:
+                        self._deny(spec)
+                    self._rebuild_active()
+                    self._note("read_denied", errno=exc.errno)
+                    return None
                 if self.fault_injector is None:
                     raise
                 if exc.errno in _TRANSIENT_ERRNOS:
@@ -413,9 +472,14 @@ class PerfCounterSampler:
             }
 
     def _missing_now(self) -> Tuple[pc.CounterId, ...]:
-        if not self._lost:
+        if not self._lost and not self._denied:
             return ()
-        return tuple(sorted(spec.counter_id for spec in self._lost))
+        return tuple(
+            sorted(
+                {spec.counter_id for spec in self._lost}
+                | {spec.counter_id for spec in self._denied}
+            )
+        )
 
     def _scheduling_delay(self, load: SystemLoad) -> Optional[float]:
         """Actual-minus-nominal read latency; None if the read is skipped.

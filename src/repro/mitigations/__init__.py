@@ -1,1 +1,71 @@
-"""Mitigations: popup disabling, RBAC access control, obfuscation."""
+"""Mitigations: the paper's Section 9 defense arm, as composable policies.
+
+Three enforcement families, one spec object:
+
+* **Access control** (:mod:`~repro.mitigations.access_control`, paper
+  Section 9.2) — :class:`AccessPolicy` implementations consulted by the
+  KGSL device file on every counter ioctl;
+* **Obfuscation** (:mod:`~repro.mitigations.obfuscation`, Section 9.3) —
+  driver-level value perturbation and OS-injected noise workloads;
+* **Popup rendering changes** (:mod:`~repro.mitigations.popup_disable`,
+  Section 9.1) — victim-side keyboard configuration changes.
+
+:mod:`~repro.mitigations.policy` composes all of them into the frozen,
+name-registered :class:`MitigationPolicy` spec that
+``AttackConfig(mitigation=...)`` threads through the whole pipeline; see
+``docs/defenses.md`` for the handbook and the threat × mitigation matrix.
+"""
+
+from repro.mitigations.access_control import (
+    DEFAULT_PRIVILEGED_CONTEXTS,
+    AccessPolicy,
+    AllowAllPolicy,
+    LocalOnlyPolicy,
+    RbacPolicy,
+)
+from repro.mitigations.obfuscation import (
+    CounterObfuscationPolicy,
+    OsNoiseInjector,
+    with_os_noise,
+)
+from repro.mitigations.policy import (
+    MITIGATION_ENV,
+    MITIGATION_REGISTRY,
+    MitigationPolicy,
+    MitigationStats,
+    PolicyEnforcer,
+    compose,
+    mitigation,
+    mitigation_names,
+    register_mitigation,
+)
+from repro.mitigations.popup_disable import (
+    config_with_popups_disabled,
+    disable_popups,
+)
+
+__all__ = [
+    # composable policy spec (docs/defenses.md)
+    "MitigationPolicy",
+    "MitigationStats",
+    "PolicyEnforcer",
+    "MITIGATION_ENV",
+    "MITIGATION_REGISTRY",
+    "compose",
+    "mitigation",
+    "mitigation_names",
+    "register_mitigation",
+    # access control (Section 9.2)
+    "AccessPolicy",
+    "AllowAllPolicy",
+    "RbacPolicy",
+    "LocalOnlyPolicy",
+    "DEFAULT_PRIVILEGED_CONTEXTS",
+    # obfuscation (Section 9.3)
+    "CounterObfuscationPolicy",
+    "OsNoiseInjector",
+    "with_os_noise",
+    # popup rendering changes (Section 9.1)
+    "disable_popups",
+    "config_with_popups_disabled",
+]

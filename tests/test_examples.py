@@ -35,7 +35,7 @@ class TestExamples:
         proc = run_example("mitigation_evaluation.py")
         assert proc.returncode == 0, proc.stderr
         assert "RBAC whitelist" in proc.stdout
-        assert "blocked at ioctl" in proc.stdout
+        assert "blinded at ioctl" in proc.stdout
         assert "popups disabled" in proc.stdout
 
     def test_trace_inspection(self):

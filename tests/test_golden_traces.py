@@ -169,6 +169,37 @@ class TestBatchGolden:
         )
         check_or_update(self.FIXTURE, canonicalize(batch, trace), update_golden)
 
+    def test_mitigation_none_matches_golden(
+        self, chase_store, golden_traces, update_golden
+    ):
+        # the undefended-pipeline contract: an explicit mitigation=None
+        # installs no policy hook anywhere and stays byte-identical
+        trace = RuntimeTrace()
+        config = AttackConfig(
+            recognize_device=False, fault_plan=None, mitigation=None
+        )
+        batch = run_sessions(
+            chase_store, golden_traces, seed=RUN_SEED, config=config,
+            runtime_trace=trace,
+        )
+        check_or_update(self.FIXTURE, canonicalize(batch, trace), update_golden)
+
+    def test_mitigation_allow_all_matches_golden(
+        self, chase_store, golden_traces, update_golden
+    ):
+        # allow-all enforces nothing at the KGSL boundary, so it must
+        # reproduce the undefended bytes exactly (the baseline column
+        # of the threat x mitigation matrix)
+        trace = RuntimeTrace()
+        config = AttackConfig(
+            recognize_device=False, fault_plan=None, mitigation="allow-all"
+        )
+        batch = run_sessions(
+            chase_store, golden_traces, seed=RUN_SEED, config=config,
+            runtime_trace=trace,
+        )
+        check_or_update(self.FIXTURE, canonicalize(batch, trace), update_golden)
+
 
 class TestAttackGolden:
     """Single-session attack under the mild fault profile: the injected

@@ -144,11 +144,14 @@ class TestLoadEndToEnd:
 
 class TestMitigationsEndToEnd:
     def test_rbac_blocks_attack_entirely(self, config, attack):
-        from repro.kgsl.ioctl import IoctlError
-
+        # EACCES permanently masks every counter: the attack completes
+        # blind (degraded, nothing recovered) instead of crashing.
         trace = simulate_credential_entry(config, CHASE, "protected1", seed=26)
-        with pytest.raises(IoctlError):
-            attack.run_on_trace(trace, seed=909, access_policy=RbacPolicy())
+        policy = RbacPolicy()
+        result = attack.run_on_trace(trace, seed=909, access_policy=policy)
+        assert result.text == ""
+        assert result.degraded
+        assert policy.denials >= 1
 
     def test_local_only_policy_blinds_attack(self, config, attack):
         trace = simulate_credential_entry(config, CHASE, "protected2", seed=27)

@@ -55,10 +55,18 @@ class TestRbacPolicy:
         dev.ioctl(IOCTL_KGSL_PERFCOUNTER_GET, KgslPerfcounterGet(groupid=0x19, countable=14))
         assert policy.denials == 0
 
-    def test_attack_sampler_cannot_even_start(self):
+    def test_attack_sampler_starts_blind(self):
+        # EACCES at reserve time permanently masks the counters: the
+        # sampler comes up with nothing to read instead of crashing the
+        # attacking app (the resilient-sampling contract).
         dev = open_kgsl(timeline_with(), context=UNTRUSTED, access_policy=RbacPolicy())
-        with pytest.raises(IoctlError):
-            PerfCounterSampler(dev)
+        sampler = PerfCounterSampler(dev)
+        assert sampler._active == []
+        assert sampler.counters_denied == len(sampler.counters)
+        assert sampler.degraded
+        # denied counters are never revived: every read comes back empty
+        samples = sampler.sample_range(0.0, 0.1)
+        assert all(not s.values for s in samples)
 
 
 class TestLocalOnlyPolicy:

@@ -1,0 +1,119 @@
+"""Drift-recovery bench: the online signature lifecycle's headline claim.
+
+One :class:`~repro.core.online.OnlineEngine` session streams repeated
+credential entries while the ``thermal-harsh`` drift profile throttles
+the GPU underneath it.  Three arms share the seed schedule:
+
+1. **baseline** — no drift, frozen model (the undrifted reference);
+2. **drift, frozen model** — the control arm: accuracy must *collapse*,
+   otherwise the drift isn't strong enough to make recovery meaningful;
+3. **drift + calibration** — the lifecycle: suspect signals trip the
+   :class:`~repro.lifecycle.calibration.CalibrationService`, the
+   signature is re-fit from drained evidence, and the engine hot-swaps
+   the model mid-session.
+
+The pinned claim: **post-recalibration exact-credential accuracy is
+>= 90 % of the undrifted baseline, without a session restart** — while
+the frozen arm under the same drift recovers nothing.
+
+Writes ``BENCH_lifecycle.json`` (per-arm accuracies, recovery ratio,
+recalibration count) as the machine-readable record; CI uploads it as
+an artifact.
+"""
+
+import pytest
+
+from repro.lifecycle import run_lifecycle
+from repro.obs import MetricsRegistry
+from conftest import run_once, write_bench_manifest
+
+pytestmark = pytest.mark.bench
+
+#: The acceptance floor: recovered exact accuracy / baseline exact
+#: accuracy with calibration on.
+RECOVERY_FLOOR = 0.9
+
+#: The control arm must actually be hurt by the drift, or the recovery
+#: claim is vacuous.
+DRIFTED_CEILING = 0.5
+
+SEGMENTS = 6
+SEED = 24
+
+
+def _arm(drift, calibration):
+    return run_lifecycle(
+        segments=SEGMENTS,
+        seed=SEED,
+        drift=drift,
+        calibration=calibration,
+    )
+
+
+def test_drift_recovery(benchmark):
+    def experiment():
+        baseline = _arm(drift=None, calibration=None)
+        frozen = _arm(drift="thermal-harsh", calibration=None)
+        recovered = _arm(drift="thermal-harsh", calibration="default")
+        return baseline, frozen, recovered
+
+    baseline, frozen, recovered = run_once(benchmark, experiment)
+
+    # arm 1: no drift — every segment is "baseline", all exact
+    assert baseline.recovery_ratio == 1.0
+    assert baseline.baseline_exact == 1.0
+    assert baseline.recalibrations == 0
+
+    # arm 2: drift with a frozen model — the plateau segments (where the
+    # calibrated arm recovers) stay collapsed
+    assert frozen.recalibrations == 0
+    frozen_plateau = [s for s in frozen.segments if s.thermal_factor < 0.6]
+    assert frozen_plateau, "drift never reached its plateau"
+    frozen_exact = sum(s.exact for s in frozen_plateau) / len(frozen_plateau)
+    assert frozen_exact <= DRIFTED_CEILING, (
+        f"frozen-model arm survived the drift (exact {frozen_exact:.2f}) — "
+        "the recovery claim is vacuous at this drift strength"
+    )
+
+    # arm 3: the lifecycle — degrade, re-fit, hot-swap, recover
+    assert recovered.recalibrations >= 1
+    assert recovered.model_swaps == recovered.recalibrations
+    assert recovered.baseline_exact == 1.0
+    assert recovered.drifted_exact is not None
+    assert recovered.recovered_exact is not None
+    assert recovered.recovery_ratio is not None
+    assert recovered.recovery_ratio >= RECOVERY_FLOOR, (
+        f"post-recalibration accuracy {recovered.recovered_exact:.2f} is below "
+        f"{RECOVERY_FLOOR:.0%} of the undrifted baseline "
+        f"{recovered.baseline_exact:.2f}"
+    )
+
+    registry = MetricsRegistry()
+    registry.gauge("lifecycle.baseline_exact").set(baseline.baseline_exact)
+    registry.gauge("lifecycle.frozen_drifted_exact").set(frozen_exact)
+    registry.gauge("lifecycle.drifted_exact").set(recovered.drifted_exact)
+    registry.gauge("lifecycle.recovered_exact").set(recovered.recovered_exact)
+    registry.gauge("lifecycle.recovery_ratio").set(recovered.recovery_ratio)
+    registry.gauge("lifecycle.recalibrations").set(recovered.recalibrations)
+    registry.gauge("lifecycle.min_thermal_factor").set(
+        recovered.drift["min_thermal_factor"]
+    )
+    write_bench_manifest(
+        "lifecycle",
+        registry,
+        segments=SEGMENTS,
+        seed=SEED,
+        recovery_floor=RECOVERY_FLOOR,
+        credential=recovered.credential,
+    )
+
+    print("\ndrift-recovery (exact-credential accuracy per arm):")
+    print(f"  baseline (no drift)        : {baseline.baseline_exact:.2f}")
+    print(f"  thermal-harsh, frozen model: {frozen_exact:.2f}")
+    print(
+        f"  thermal-harsh, calibrated  : drifted {recovered.drifted_exact:.2f} "
+        f"-> recovered {recovered.recovered_exact:.2f} "
+        f"({recovered.recalibrations} re-fits, "
+        f"{recovered.model_swaps} hot swaps)"
+    )
+    print(f"  recovery ratio             : {recovered.recovery_ratio:.2f}")

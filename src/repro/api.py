@@ -89,7 +89,11 @@ from repro.core import features
 from repro.core.classifier import Classification, ClassificationModel, build_model
 from repro.core.guessing import CandidateGenerator
 from repro.core.launch import IDLE_POLL_INTERVAL_S, LaunchDetector
-from repro.core.model_store import ModelStore
+from repro.core.model_store import (
+    ModelIntegrityError,
+    ModelStore,
+    VersionedModelStore,
+)
 from repro.core.online import EngineStats, InferredKey, OnlineEngine, OnlineResult
 from repro.core.pipeline import (
     ATTACK_SOURCE_CHUNK,
@@ -119,6 +123,23 @@ from repro.gpu import counters
 from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
 from repro.kgsl.ioctl import IoctlError
 from repro.kgsl.sampler import DEFAULT_INTERVAL_S, PerfCounterSampler, SystemLoad
+from repro.lifecycle import (
+    CALIBRATION_ENV,
+    CALIBRATION_PROFILES,
+    DRIFT_PROFILE_ENV,
+    DRIFT_PROFILES,
+    CalibrationPolicy,
+    CalibrationService,
+    DriftInjector,
+    DriftPlan,
+    DriftStats,
+    LifecycleReport,
+    SegmentReport,
+    drift_plan_from_env,
+    resolve_calibration,
+    resolve_drift_plan,
+    run_lifecycle,
+)
 from repro.mitigations.access_control import LocalOnlyPolicy, RbacPolicy
 from repro.mitigations.obfuscation import CounterObfuscationPolicy
 from repro.mitigations.policy import (
@@ -227,6 +248,8 @@ __all__ = [
     "ClassificationModel",
     "build_model",
     "ModelStore",
+    "VersionedModelStore",
+    "ModelIntegrityError",
     "CandidateGenerator",
     "LaunchDetector",
     "train_model",
@@ -347,6 +370,22 @@ __all__ = [
     "DefenseCell",
     "run_defense_matrix",
     "format_defense_matrix",
+    # signature lifecycle (drift / recalibration / versioned models)
+    "DriftPlan",
+    "DriftStats",
+    "DriftInjector",
+    "DRIFT_PROFILE_ENV",
+    "DRIFT_PROFILES",
+    "drift_plan_from_env",
+    "resolve_drift_plan",
+    "CalibrationPolicy",
+    "CalibrationService",
+    "CALIBRATION_ENV",
+    "CALIBRATION_PROFILES",
+    "resolve_calibration",
+    "run_lifecycle",
+    "LifecycleReport",
+    "SegmentReport",
     # modules
     "features",
     "counters",
@@ -392,6 +431,15 @@ class AttackConfig:
     #: name, a :class:`MitigationPolicy`, or None (byte-identical to
     #: the undefended pipeline — the golden-parity contract).
     mitigation: Union[MitigationPolicy, None, str] = "auto"
+    #: Environmental signature drift: "auto" (the ``REPRO_DRIFT_PROFILE``
+    #: environment variable), a drift profile name, a :class:`DriftPlan`,
+    #: or None (byte-identical to the driftless pipeline — the
+    #: golden-parity contract, same as ``mitigation=None``).
+    drift: Union[DriftPlan, None, str] = "auto"
+    #: Online per-device recalibration: a :class:`CalibrationPolicy`, a
+    #: calibration profile name, "auto" (the ``REPRO_CALIBRATION``
+    #: environment variable), or None (frozen models, the default).
+    calibration: Union[CalibrationPolicy, None, str] = None
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0 or self.idle_interval_s <= 0:
@@ -418,6 +466,10 @@ class AttackConfig:
         if isinstance(self.mitigation, str) and self.mitigation != "auto":
             # resolve now so a typo'd policy name fails at construction
             mitigation_lookup(self.mitigation)
+        if isinstance(self.drift, str) and self.drift != "auto":
+            DriftPlan.from_profile(self.drift)
+        if isinstance(self.calibration, str) and self.calibration != "auto":
+            CalibrationPolicy.from_profile(self.calibration)
 
     @property
     def load(self) -> SystemLoad:
@@ -469,6 +521,20 @@ class AttackConfig:
             return None
         return mitigation_lookup(self.mitigation)
 
+    def resolved_drift_plan(self) -> Optional[DriftPlan]:
+        """The signature drift the run executes under.
+
+        ``"auto"`` reads the ``REPRO_DRIFT_PROFILE`` environment variable
+        (a drift profile name) and otherwise resolves to ``None``; an
+        explicit plan/profile wins over the environment, and an explicit
+        ``None`` pins the driftless (golden-parity) pipeline.
+        """
+        return resolve_drift_plan(self.drift)
+
+    def resolved_calibration(self) -> Optional[CalibrationPolicy]:
+        """The recalibration policy, or ``None`` for frozen models."""
+        return resolve_calibration(self.calibration)
+
     # -- serialization --------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
@@ -478,6 +544,10 @@ class AttackConfig:
             if f.name == "fault_plan" and isinstance(value, FaultPlan):
                 value = value.to_dict()
             elif f.name == "mitigation" and isinstance(value, MitigationPolicy):
+                value = value.to_dict()
+            elif f.name == "drift" and isinstance(value, DriftPlan):
+                value = value.to_dict()
+            elif f.name == "calibration" and isinstance(value, CalibrationPolicy):
                 value = value.to_dict()
             out[f.name] = value
         return out
@@ -495,6 +565,12 @@ class AttackConfig:
         mit = kwargs.get("mitigation")
         if isinstance(mit, Mapping):
             kwargs["mitigation"] = MitigationPolicy.from_dict(mit)
+        drift = kwargs.get("drift")
+        if isinstance(drift, Mapping):
+            kwargs["drift"] = DriftPlan.from_dict(drift)
+        calibration = kwargs.get("calibration")
+        if isinstance(calibration, Mapping):
+            kwargs["calibration"] = CalibrationPolicy.from_dict(calibration)
         return cls(**kwargs)  # type: ignore[arg-type]
 
 
@@ -516,6 +592,8 @@ def _attacker(
         fault_plan=config.resolved_fault_plan(),
         metrics=metrics,
         mitigation=config.resolved_mitigation(),
+        drift=config.resolved_drift_plan(),
+        calibration=config.resolved_calibration(),
     )
 
 
@@ -726,6 +804,8 @@ def monitor(
         fault_plan=config.resolved_fault_plan(),
         metrics=metrics,
         mitigation=config.resolved_mitigation(),
+        drift=config.resolved_drift_plan(),
+        calibration=config.resolved_calibration(),
     )
     report = service.run(
         trace,

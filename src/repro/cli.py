@@ -7,6 +7,9 @@ Commands:
 * ``attack``   — online phase against a simulated victim, using a store
 * ``fleet``    — N simulated devices streaming into one collector
   service (backpressure, retries, dedup; see ``docs/collector.md``)
+* ``lifecycle`` — drift → recalibrate → recover demo: one long engine
+  session under signature drift, with per-device re-fits and hot model
+  swaps (see ``docs/lifecycle.md``)
 * ``survey``   — per-key weak-spot report for a keyboard
 * ``report``   — regenerate the evaluation figures into a directory
 * ``devices``  — list registered phones, keyboards and apps
@@ -53,8 +56,10 @@ from repro.api import (
     app,
     attack,
     bar_chart,
+    CALIBRATION_PROFILES,
     CollectorConfig,
     default_config,
+    DRIFT_PROFILES,
     format_defense_matrix,
     generate_report,
     keyboard,
@@ -63,6 +68,7 @@ from repro.api import (
     phone,
     run_defense_matrix,
     run_fleet,
+    run_lifecycle,
     run_per_key_sweep,
     run_sessions,
     scenario,
@@ -284,6 +290,35 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(fleet)
     _add_mitigation_flag(fleet)
     _add_metrics_flag(fleet)
+
+    lifecycle_p = sub.add_parser(
+        "lifecycle",
+        help="drift -> recalibrate -> recover demo on one long engine session",
+    )
+    lifecycle_p.add_argument("--credential", default="Tr0ub4dor&3")
+    lifecycle_p.add_argument(
+        "--segments", type=int, default=6,
+        help="credential entries streamed through the one engine (default 6)",
+    )
+    lifecycle_p.add_argument("--seed", type=int, default=24)
+    lifecycle_p.add_argument(
+        "--drift-profile", default="thermal-harsh",
+        choices=sorted(DRIFT_PROFILES),
+        help="signature drift reshaping the counter stream "
+        "(default thermal-harsh)",
+    )
+    lifecycle_p.add_argument(
+        "--calibration", default="default",
+        choices=sorted(CALIBRATION_PROFILES),
+        help="recalibration profile; 'off' runs the frozen-model "
+        "control arm (default default)",
+    )
+    lifecycle_p.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persist every model generation (offline original + each "
+        "re-fit) into a versioned, checksummed store under DIR",
+    )
+    _add_metrics_flag(lifecycle_p)
 
     survey = sub.add_parser("survey", help="per-key weak spots for a keyboard")
     survey.add_argument(
@@ -641,6 +676,55 @@ def _cmd_fleet(args) -> int:
     return 0 if report.lost == 0 else 1
 
 
+def _cmd_lifecycle(args) -> int:
+    registry = _metrics_registry(args)
+    report = run_lifecycle(
+        credential=args.credential,
+        segments=args.segments,
+        seed=args.seed,
+        drift=args.drift_profile,
+        calibration=args.calibration,
+        metrics=registry,
+        model_dir=args.store_dir,
+    )
+    calibrating = args.calibration != "off"
+    for seg in report.segments:
+        state = "drift" if seg.drift_active else "clean"
+        swap = "  [re-fit -> swap]" if seg.recalibrated else ""
+        outcome = (
+            "exact" if seg.exact else f"chars {seg.char_accuracy:.2f}"
+        )
+        print(
+            f"  seg {seg.index}  gen {seg.model_version}  "
+            f"thermal x{seg.thermal_factor:.2f}  {state:5s}  "
+            f"{seg.inferred!r} ({outcome}){swap}"
+        )
+    print(f"recalibrations: {report.recalibrations} (model swaps: {report.model_swaps})")
+    if args.store_dir:
+        print(f"store versions: {report.store_versions} under {args.store_dir}")
+
+    def fmt(value):
+        return "n/a" if value is None else f"{value:.2f}"
+
+    print(
+        f"exact-credential accuracy: baseline {fmt(report.baseline_exact)}  "
+        f"drifted {fmt(report.drifted_exact)}  "
+        f"recovered {fmt(report.recovered_exact)}"
+    )
+    print(f"recovery ratio: {fmt(report.recovery_ratio)}")
+    if registry is not None:
+        manifest = registry.manifest(
+            command="lifecycle",
+            sessions=args.segments,
+            lifecycle=report.as_dict(),
+        )
+        manifest.write(args.metrics_out)
+        print(f"metrics  : wrote run manifest to {args.metrics_out}")
+    if calibrating and report.recovery_ratio is not None:
+        return 0 if report.recovery_ratio >= 0.9 else 1
+    return 0
+
+
 def _cmd_survey(args) -> int:
     config = default_config(keyboard=keyboard(args.keyboard))
     stats = run_per_key_sweep(config, app(_DEFAULT_APP), repeats=args.repeats)
@@ -862,6 +946,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "attack": _cmd_attack,
     "fleet": _cmd_fleet,
+    "lifecycle": _cmd_lifecycle,
     "survey": _cmd_survey,
     "report": _cmd_report,
     "devices": _cmd_devices,

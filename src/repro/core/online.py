@@ -143,6 +143,7 @@ class OnlineEngine:
         session: str = "",
         stage_name: str = "engine",
         metrics: Optional[MetricsRegistry] = None,
+        collect_evidence: bool = False,
     ) -> None:
         self.model = model
         self.interval_s = interval_s
@@ -158,6 +159,15 @@ class OnlineEngine:
         # instrument, so the hot path pays one attribute load per observe
         self._latency_hist = self.metrics.histogram("engine.inference_latency_s")
         self._noise_ring: List = []
+        #: Opt-in calibration-evidence capture: unexplained full-vector
+        #: deltas (the shape drifted key presses take) are retained for
+        #: the lifecycle's drift-ratio estimator.  Off by default — the
+        #: fast path and golden traces are untouched.
+        self.collect_evidence = collect_evidence
+        self.evidence: List[np.ndarray] = []
+        #: Hot swaps performed on this engine (kept off
+        #: :class:`EngineStats` so existing result schemas don't shift).
+        self.model_swaps = 0
         self._active_model = model
         self._deflation_u = None
         self._result: Optional[OnlineResult] = None
@@ -254,6 +264,41 @@ class OnlineEngine:
         self._prev_consumed = True
         self._last_fed_t = None
         return self._result
+
+    def swap_model(self, model: ClassificationModel) -> None:
+        """Hot-swap the classification model mid-session.
+
+        Stream state — the dedup window, correction tracker, unconsumed
+        previous delta, app-switch burst state — carries over untouched;
+        only the classifier view changes.  An active ambient-deflation
+        direction is re-applied to the new model, and the app-switch
+        burst threshold is re-derived from the new centroids.  A
+        :meth:`feed_many` batch in flight notices the swap through its
+        existing re-batching seam (``_active_model`` identity check) and
+        re-scores its remaining tail against the new model, so no delta
+        is ever classified twice or skipped.
+        """
+        self.model = model
+        self._active_model = (
+            model
+            if self._deflation_u is None
+            else model.with_deflation(self._deflation_u)
+        )
+        if self.switch_detector is not None:
+            self.switch_detector.big_threshold = self._switch_threshold(model)
+        self.model_swaps += 1
+        if self.metrics.enabled:
+            self.metrics.counter("engine.model_swaps").inc()
+        self._emit(
+            self._last_fed_t if self._last_fed_t is not None else 0.0,
+            "model_swap",
+            model_key=model.model_key,
+        )
+
+    def drain_evidence(self) -> List[np.ndarray]:
+        """Return and clear the collected calibration-evidence vectors."""
+        evidence, self.evidence = self.evidence, []
+        return evidence
 
     def _classify(self, delta: PcDelta):
         """Classify a delta, masking missing feature dimensions if any."""
@@ -538,14 +583,22 @@ class OnlineEngine:
         scaled_dir = scaled_dir / np.linalg.norm(scaled_dir)
         return raw_dir, scaled_dir
 
+    #: Calibration-evidence vectors retained between drains.
+    EVIDENCE_CAP = 512
+
     def _note_noise(self, delta: PcDelta) -> None:
         if delta.missing:
             # zeros in unobserved dimensions would bend the ambient
             # direction estimate toward the observed subspace
             return
-        self._noise_ring.append(features.vectorize(delta))
+        vec = features.vectorize(delta)
+        self._noise_ring.append(vec)
         if len(self._noise_ring) > self.AMBIENT_WINDOW:
             self._noise_ring.pop(0)
+        if self.collect_evidence and len(self.evidence) < self.EVIDENCE_CAP:
+            # drifted key presses land here: full-vector changes the
+            # frozen model can no longer explain
+            self.evidence.append(vec)
 
     def _plausible_lengths(self):
         """Field lengths the composite search may subtract: near the

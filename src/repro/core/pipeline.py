@@ -23,7 +23,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,7 +36,14 @@ from repro.core.model_store import ModelStore
 from repro.core.offline import OfflineTrainer
 from repro.core.online import InferredKey, OnlineEngine, OnlineResult
 from repro.core.results import warn_deprecated
+from repro.core.classifier import ClassificationModel
 from repro.kgsl.device_file import DeviceClock, KgslDeviceFile, ProcessContext, open_kgsl
+from repro.lifecycle.calibration import (
+    CalibrationPolicy,
+    CalibrationService,
+    resolve_calibration,
+)
+from repro.lifecycle.drift import DriftPlan, resolve_drift_plan
 from repro.kgsl.sampler import (
     DEFAULT_INTERVAL_S,
     IDLE,
@@ -239,7 +246,7 @@ class AttackStage:
             )
         else:
             self.model_key = attack.store.keys()[0]
-        model = attack.store.get(self.model_key)
+        model = attack.current_model(self.model_key)
         self.engine = OnlineEngine(
             model,
             interval_s=attack.interval_s,
@@ -249,6 +256,7 @@ class AttackStage:
             trace=session.trace,
             session=session.id,
             metrics=self.metrics,
+            collect_evidence=attack.calibration is not None,
         )
         self.engine.begin()
         for buffered in self._pending:
@@ -301,6 +309,24 @@ class AttackStage:
                 # recognition was required but the stream stayed empty
                 raise ValueError("no nonzero PC changes to recognize from")
         online = self.engine.finish()
+        service = self.attack.calibration
+        if service is not None and self.model_key is not None:
+            evidence = self.engine.drain_evidence()
+            service.observe(self.model_key, online.stats, evidence=evidence)
+            if service.should_recalibrate(self.model_key):
+                refit = service.recalibrate(
+                    self.model_key, self.attack.current_model(self.model_key)
+                )
+                if refit is not None:
+                    self.attack._live_models[self.model_key] = refit
+                    session.trace.emit(
+                        t,
+                        session.id,
+                        self.name,
+                        "model_recalibrated",
+                        model_key=self.model_key,
+                        generation=refit.metadata["recalibration"]["generation"],
+                    )
         injector = self.sampler.fault_injector
         self.sampler.flush_metrics(self.metrics)
         policy = self.kgsl.access_policy
@@ -310,6 +336,17 @@ class AttackStage:
             for name, value in injector.stats.as_dict().items():
                 if value > 0:
                     self.metrics.counter(f"faults.injected.{name}").inc(value)
+        drift = self.kgsl.drift_injector
+        if self.metrics.enabled and drift is not None:
+            for name, value in drift.stats.as_dict().items():
+                if name == "min_thermal_factor":
+                    # a level, not a count: keep the most severe factor
+                    # any session in the run reached
+                    gauge = self.metrics.gauge("drift.min_thermal_factor")
+                    if gauge.value == 0.0 or value < gauge.value:
+                        gauge.set(value)
+                elif value > 0:
+                    self.metrics.counter(f"drift.{name}").inc(int(value))
         session.result = AttackResult(
             online=online,
             model_key=self.model_key,
@@ -338,6 +375,8 @@ class EavesdropAttack:
         fault_plan: Union[faults_mod.FaultPlan, None, str] = "auto",
         metrics: Optional[MetricsRegistry] = None,
         mitigation=None,
+        drift: Union[DriftPlan, None, str] = "auto",
+        calibration: Union[CalibrationPolicy, None, str] = None,
     ) -> None:
         if len(store) == 0:
             raise ValueError("model store is empty — run the offline phase first")
@@ -348,10 +387,31 @@ class EavesdropAttack:
         self.track_corrections = track_corrections
         self.recover_collisions = recover_collisions
         self.fault_plan = faults_mod.resolve_plan(fault_plan)
+        #: Optional signature drift applied at the KGSL boundary; like
+        #: faults, resolved once here so every session shares the plan.
+        self.drift_plan = resolve_drift_plan(drift)
         self.metrics = resolve_registry(metrics)
         #: Optional :class:`~repro.mitigations.MitigationPolicy` the
         #: victim's device enforces; each session gets a fresh enforcer.
         self.mitigation = mitigation
+        policy = resolve_calibration(calibration)
+        #: Optional per-device recalibration; one service spans every
+        #: session this attack runs, so suspect evidence accumulates
+        #: across sessions and a re-fit carries to the next one.
+        self.calibration: Optional[CalibrationService] = (
+            CalibrationService(policy, metrics=self.metrics)
+            if policy is not None
+            else None
+        )
+        #: Latest model generation per model key — re-fits land here;
+        #: the offline store itself is never mutated.
+        self._live_models: Dict[str, ClassificationModel] = {}
+
+    def current_model(self, model_key: str) -> ClassificationModel:
+        """The newest generation for ``model_key`` — the offline model
+        until the calibration service produces a re-fit for it."""
+        live = self._live_models.get(model_key)
+        return live if live is not None else self.store.get(model_key)
 
     def session_spec(
         self,
@@ -377,6 +437,11 @@ class EavesdropAttack:
         )
         if access_policy is None and self.mitigation is not None:
             access_policy = self.mitigation.enforcer(seed=seed)
+        drift_injector = (
+            self.drift_plan.injector(seed_offset=seed)
+            if self.drift_plan is not None
+            else None
+        )
         kgsl = open_kgsl(
             trace.timeline,
             clock=DeviceClock(),
@@ -384,6 +449,7 @@ class EavesdropAttack:
             access_policy=access_policy,
             adreno_model=trace.config.gpu.model,
             fault_injector=injector,
+            drift_injector=drift_injector,
         )
         sampler = PerfCounterSampler(
             kgsl, interval_s=self.interval_s, rng=rng, fault_injector=injector

@@ -47,6 +47,8 @@ from repro.core.model_store import ModelStore
 from repro.core.online import EngineStats, InferredKey
 from repro.core.pipeline import AttackResult, EavesdropAttack
 from repro.kgsl.device_file import DeviceClock, ProcessContext, open_kgsl
+from repro.lifecycle.calibration import CalibrationPolicy
+from repro.lifecycle.drift import DriftPlan, resolve_drift_plan
 from repro.kgsl.sampler import (
     DEFAULT_INTERVAL_S,
     IDLE,
@@ -111,6 +113,8 @@ class MonitoringService:
         fault_plan: Union[faults_mod.FaultPlan, None, str] = "auto",
         metrics: Optional[MetricsRegistry] = None,
         mitigation=None,
+        drift: Union[DriftPlan, None, str] = "auto",
+        calibration: Union[CalibrationPolicy, None, str] = None,
     ) -> None:
         if len(store) == 0:
             raise ValueError("model store is empty")
@@ -121,6 +125,10 @@ class MonitoringService:
         self.fault_plan = faults_mod.resolve_plan(fault_plan)
         self.metrics = resolve_registry(metrics)
         self.mitigation = mitigation
+        #: Drift affects the idle watch and the attack window alike —
+        #: it is a property of the victim device, not of a mode.
+        self.drift_plan = resolve_drift_plan(drift)
+        self.calibration = calibration
 
     def run(
         self,
@@ -162,6 +170,11 @@ class MonitoringService:
             ),
             adreno_model=trace.config.gpu.model,
             fault_injector=idle_injector,
+            drift_injector=(
+                self.drift_plan.injector(seed_offset=seed)
+                if self.drift_plan is not None
+                else None
+            ),
         )
         watcher = PerfCounterSampler(
             kgsl, interval_s=self.idle_interval_s, rng=rng, fault_injector=idle_injector
@@ -176,6 +189,8 @@ class MonitoringService:
             fault_plan=self.fault_plan,
             metrics=self.metrics,
             mitigation=self.mitigation,
+            drift=self.drift_plan,
+            calibration=self.calibration,
         )
         launch_info = {"event": None, "idle_reads": 0}
 

@@ -87,6 +87,7 @@ class KgslDeviceFile:
         access_policy=None,
         adreno_model: int = 650,
         fault_injector=None,
+        drift_injector=None,
     ) -> None:
         self.timeline = timeline
         self.clock = clock if clock is not None else DeviceClock()
@@ -94,6 +95,7 @@ class KgslDeviceFile:
         self.access_policy = access_policy
         self.adreno_model = adreno_model
         self.fault_injector = fault_injector
+        self.drift_injector = drift_injector
         self._reserved: Set[Tuple[int, int]] = set()
         self._closed = False
         self.ioctl_count = 0
@@ -179,6 +181,11 @@ class KgslDeviceFile:
                 )
             counter_id = self._counter_id(slot.groupid, slot.countable)
             raw = values.get(counter_id, 0)
+            if self.drift_injector is not None:
+                # signature drift is physical — the GPU itself runs
+                # slower / renders differently — so it rewrites the raw
+                # value before any mitigation or measurement fault sees it
+                raw = self.drift_injector.drift_value(key, raw, self.clock.now)
             if self.access_policy is not None:
                 raw = self.access_policy.filter_value(
                     context=self.context,
@@ -236,6 +243,7 @@ def open_kgsl(
     access_policy=None,
     adreno_model: int = 650,
     fault_injector=None,
+    drift_injector=None,
 ) -> KgslDeviceFile:
     """``open("/dev/kgsl-3d0", O_RDWR)`` equivalent for the simulation."""
     return KgslDeviceFile(
@@ -245,4 +253,5 @@ def open_kgsl(
         access_policy=access_policy,
         adreno_model=adreno_model,
         fault_injector=fault_injector,
+        drift_injector=drift_injector,
     )

@@ -177,6 +177,8 @@ def _run_service_shard(payload: Dict[str, object]) -> ShardOutput:
         attack_window_s=config.attack_window_s,
         fault_plan=config.resolved_fault_plan(),
         metrics=metrics,
+        drift=config.resolved_drift_plan(),
+        calibration=config.resolved_calibration(),
     )
     indices: List[int] = list(payload["indices"])  # type: ignore[arg-type]
     seed = int(payload["seed"])  # type: ignore[arg-type]

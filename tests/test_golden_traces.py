@@ -184,6 +184,36 @@ class TestBatchGolden:
         )
         check_or_update(self.FIXTURE, canonicalize(batch, trace), update_golden)
 
+    def test_drift_none_matches_golden(
+        self, chase_store, golden_traces, update_golden
+    ):
+        # the driftless contract: an explicit drift=None installs no
+        # injector at the KGSL boundary and stays byte-identical
+        trace = RuntimeTrace()
+        config = AttackConfig(
+            recognize_device=False, fault_plan=None, drift=None
+        )
+        batch = run_sessions(
+            chase_store, golden_traces, seed=RUN_SEED, config=config,
+            runtime_trace=trace,
+        )
+        check_or_update(self.FIXTURE, canonicalize(batch, trace), update_golden)
+
+    def test_calibration_none_matches_golden(
+        self, chase_store, golden_traces, update_golden
+    ):
+        # frozen-model contract: calibration=None (the default) keeps
+        # the engine out of evidence-collection mode and re-fits nothing
+        trace = RuntimeTrace()
+        config = AttackConfig(
+            recognize_device=False, fault_plan=None, drift=None, calibration=None
+        )
+        batch = run_sessions(
+            chase_store, golden_traces, seed=RUN_SEED, config=config,
+            runtime_trace=trace,
+        )
+        check_or_update(self.FIXTURE, canonicalize(batch, trace), update_golden)
+
     def test_mitigation_allow_all_matches_golden(
         self, chase_store, golden_traces, update_golden
     ):

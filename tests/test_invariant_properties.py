@@ -20,7 +20,7 @@ Hypothesis generates the cases; the assertions are the invariants, not
 specific values.
 """
 
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 import pytest
 
@@ -287,3 +287,151 @@ class TestDeviceRouterProperties:
 
         with pytest.raises(ValueError, match="shards"):
             DeviceRouter(shards=0)
+
+
+class TestDriftPlanProperties:
+    """DriftPlan serialization: the dict form is the plan, exactly."""
+
+    plan_args = st.builds(
+        dict,
+        seed=st.integers(0, 2**31 - 1),
+        thermal_scale=st.floats(0.05, 2.0, allow_nan=False),
+        thermal_mode=st.sampled_from(["ramp", "step"]),
+        thermal_onset_s=st.floats(0.0, 60.0, allow_nan=False),
+        thermal_ramp_s=st.floats(0.1, 60.0, allow_nan=False),
+        geometry_shift=st.floats(0.0, 0.99, allow_nan=False),
+        geometry_onset_s=st.floats(0.0, 60.0, allow_nan=False),
+    )
+
+    @given(plan_args)
+    @settings(max_examples=100)
+    def test_dict_round_trip_is_identity(self, kwargs):
+        from repro.lifecycle.drift import DriftPlan
+
+        plan = DriftPlan(**kwargs)
+        restored = DriftPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        # and the round trip is a fixed point at the dict level too
+        assert restored.to_dict() == plan.to_dict()
+
+    @given(plan_args, st.integers(0, 1000), st.floats(0.0, 100.0, allow_nan=False))
+    @settings(max_examples=50)
+    def test_injector_determinism(self, kwargs, seed_offset, t):
+        from repro.lifecycle.drift import DriftPlan
+
+        plan = DriftPlan(**kwargs)
+        a = plan.injector(seed_offset=seed_offset)
+        b = plan.injector(seed_offset=seed_offset)
+        if a is None:
+            assert b is None
+            return
+        key = (3, 7)
+        assert a.thermal_factor(t) == b.thermal_factor(t)
+        assert a.geometry_factor(key, t) == b.geometry_factor(key, t)
+
+
+class TestModelStoreProperties:
+    """The checksummed envelope: round-trip exact, corruption loud."""
+
+    @staticmethod
+    def _store(values, cth, version, lineage_tag):
+        import numpy as np
+
+        from repro.core import features
+        from repro.core.classifier import ClassificationModel
+        from repro.core.model_store import ModelStore
+
+        centroids = np.array(values, dtype=float).reshape(
+            2, features.DIMENSIONS
+        )
+        store = ModelStore()
+        store.add(
+            ClassificationModel(
+                labels=["key:a", "key:b"],
+                centroids=centroids,
+                scale=np.ones(features.DIMENSIONS),
+                cth=cth,
+                model_key="prop/chase",
+            )
+        )
+        store.version = version
+        store.lineage = {"tag": lineage_tag}
+        return store
+
+    store_args = dict(
+        # the model wire form rounds centroids to 2 decimals (the paper's
+        # ~3.59 KB size claim), so generate at that precision: the
+        # envelope itself must add no loss on top
+        values=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False).map(lambda x: round(x, 2)),
+            min_size=22,
+            max_size=22,
+        ),
+        cth=st.floats(0.01, 100.0, allow_nan=False),
+        version=st.integers(0, 10_000),
+        lineage_tag=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=12,
+        ),
+    )
+    # tmp_path is function-scoped but each example fully overwrites the
+    # one store file, so reuse across examples is safe
+    fixture_ok = settings(
+        max_examples=50,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+
+    @given(**store_args)
+    @fixture_ok
+    def test_save_load_round_trip(self, values, cth, version, lineage_tag, tmp_path):
+        import numpy as np
+
+        from repro.core.model_store import ModelStore
+
+        store = self._store(values, cth, version, lineage_tag)
+        path = tmp_path / "store.json"
+        store.save(path)
+        loaded = ModelStore.load(path)
+        assert loaded.keys() == store.keys()
+        assert loaded.version == version
+        assert loaded.lineage == {"tag": lineage_tag}
+        np.testing.assert_array_equal(
+            loaded.get("prop/chase").centroids, store.get("prop/chase").centroids
+        )
+        assert loaded.get("prop/chase").cth == store.get("prop/chase").cth
+
+    @given(data=st.data(), **store_args)
+    @fixture_ok
+    def test_any_single_byte_corruption_detected(
+        self, values, cth, version, lineage_tag, data, tmp_path
+    ):
+        from repro.core.model_store import ModelIntegrityError, ModelStore
+
+        store = self._store(values, cth, version, lineage_tag)
+        path = tmp_path / "store.json"
+        store.save(path)
+        raw = bytearray(path.read_bytes())
+        index = data.draw(st.integers(0, len(raw) - 1))
+        flip = data.draw(st.integers(1, 255))
+        raw[index] ^= flip
+        path.write_bytes(bytes(raw))
+        # a corrupted store must raise — never load with silently wrong
+        # centroids and misclassify from then on
+        with pytest.raises(ModelIntegrityError):
+            ModelStore.load(path)
+
+    @given(data=st.data(), **store_args)
+    @fixture_ok
+    def test_any_truncation_detected(
+        self, values, cth, version, lineage_tag, data, tmp_path
+    ):
+        from repro.core.model_store import ModelIntegrityError, ModelStore
+
+        store = self._store(values, cth, version, lineage_tag)
+        path = tmp_path / "store.json"
+        store.save(path)
+        raw = path.read_bytes()
+        keep = data.draw(st.integers(0, len(raw) - 1))
+        path.write_bytes(raw[:keep])
+        with pytest.raises(ModelIntegrityError):
+            ModelStore.load(path)
